@@ -1,0 +1,252 @@
+package sensorguard_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§4), plus the ablation studies DESIGN.md calls out. Each
+// benchmark regenerates its experiment end to end — synthetic GDI trace,
+// detector run, structural classification — and reports the experiment's
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the reproduction run. Benchmarks use a 10-day trace (the
+// paper's full month is exercised by cmd/experiments and the test suite);
+// classification outcomes are still asserted, so a benchmark fails loudly if
+// the reproduction regresses.
+import (
+	"testing"
+
+	"sensorguard/internal/classify"
+	"sensorguard/internal/exp"
+)
+
+// benchConfig is the benchmark-scale experiment configuration.
+func benchConfig() exp.Config {
+	return exp.Config{Days: 10, Seed: 2006, KMeansInit: true}
+}
+
+// attackConfig gives the slower-washing attack signatures more runway.
+func attackConfig() exp.Config {
+	cfg := benchConfig()
+	cfg.Days = 14
+	return cfg
+}
+
+func BenchmarkTable1Setup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table1()
+		if len(rows) != 6 {
+			b.Fatalf("table 1 rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure6DailyVariation(b *testing.B) {
+	var swing float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure6(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		swing = res.TempMax - res.TempMin
+	}
+	b.ReportMetric(swing, "tempswing_C")
+}
+
+func BenchmarkFigure7CorrectModel(b *testing.B) {
+	var recovered float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.KeyRecovered < 4 {
+			b.Fatalf("key states recovered = %d/4", res.KeyRecovered)
+		}
+		recovered = float64(res.KeyRecovered)
+	}
+	b.ReportMetric(recovered, "keystates")
+}
+
+func BenchmarkFigure8FaultySensors(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Ratio7
+	}
+	b.ReportMetric(ratio, "sensor7_hum_ratio")
+}
+
+func BenchmarkStuckAtClassification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Tables2And3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Diagnosis.Kind != classify.KindStuckAt {
+			b.Fatalf("diagnosis = %v, want stuck-at", res.Diagnosis.Kind)
+		}
+	}
+}
+
+func BenchmarkCalibrationClassification(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Tables4And5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Diagnosis.Kind != classify.KindCalibration {
+			b.Fatalf("diagnosis = %v, want calibration", res.Diagnosis.Kind)
+		}
+		ratio = res.Diagnosis.Ratio.Mean[0]
+	}
+	b.ReportMetric(ratio, "temp_ratio")
+}
+
+func BenchmarkDeletionAttack(b *testing.B) {
+	cfg := attackConfig()
+	cfg.Days = 21
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Network.Kind != classify.KindDynamicDeletion {
+			b.Fatalf("diagnosis = %v, want dynamic-deletion", res.Network.Kind)
+		}
+	}
+}
+
+func BenchmarkCreationAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table7(attackConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Network.Kind != classify.KindDynamicCreation {
+			b.Fatalf("diagnosis = %v, want dynamic-creation", res.Network.Kind)
+		}
+	}
+}
+
+func BenchmarkChangeAttack(b *testing.B) {
+	cfg := attackConfig()
+	cfg.Days = 21
+	for i := 0; i < b.N; i++ {
+		res, err := exp.ChangeAttack(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Network.Kind != classify.KindDynamicChange {
+			b.Fatalf("diagnosis = %v, want dynamic-change", res.Network.Kind)
+		}
+	}
+}
+
+func BenchmarkMixedAttack(b *testing.B) {
+	cfg := attackConfig()
+	cfg.Days = 21
+	for i := 0; i < b.N; i++ {
+		res, err := exp.MixedAttack(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Network.Kind != classify.KindMixed {
+			b.Fatalf("diagnosis = %v, want mixed", res.Network.Kind)
+		}
+	}
+}
+
+func BenchmarkFigure12Alarms(b *testing.B) {
+	var healthy float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure12(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		healthy = 100 * res.HealthyRate
+	}
+	b.ReportMetric(healthy, "healthy_raw_alarm_%")
+}
+
+func BenchmarkAblationOnlineVsBaumWelch(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationOnlineVsBaumWelch(3000, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup
+	}
+	b.ReportMetric(speedup, "speedup_x")
+}
+
+func BenchmarkAblationAlarmFilters(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Days = 7
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationAlarmFilters(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range res.Outcomes {
+			if o.DetectionWindow < 0 {
+				b.Fatalf("%s never detected", o.Name)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationInitialStates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Random initial states need a few extra days to converge onto
+		// the dwell structure (they start anywhere in the attribute
+		// box), hence the attack-scale trace.
+		res, err := exp.AblationInitialStates(attackConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.KMeansKeyStates < 4 || res.RandomKeyStates < 4 {
+			b.Fatalf("key states: kmeans %d, random %d", res.KMeansKeyStates, res.RandomKeyStates)
+		}
+	}
+}
+
+func BenchmarkAblationMajoritySweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationMajoritySweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	var trainMs float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationBaseline(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OursDetected || res.OursCulprit != 6 {
+			b.Fatalf("our detector failed: %+v", res)
+		}
+		trainMs = float64(res.BaselineTrainTime.Milliseconds())
+	}
+	b.ReportMetric(trainMs, "baseline_train_ms")
+}
+
+func BenchmarkAblationNoiseSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationNoiseSweep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Points[0].Kind != classify.KindCalibration {
+			b.Fatalf("nominal-noise diagnosis = %v", res.Points[0].Kind)
+		}
+	}
+}

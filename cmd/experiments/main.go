@@ -1,0 +1,234 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§4) plus the ablation studies, printing paper-vs-measured
+// summaries. Its output is the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-days N] [-seed S] [-only table7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sensorguard/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// experiment is one runnable unit with a stable name for -only.
+type experiment struct {
+	name string
+	run  func(exp.Config, io.Writer) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", func(_ exp.Config, w io.Writer) error {
+			_, err := fmt.Fprintln(w, exp.RenderTable1(exp.Table1()))
+			return err
+		}},
+		{"figure6", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.Figure6(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"figure7", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.Figure7(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"figure8", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.Figure8(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"tables2-3", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.Tables2And3(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"tables4-5", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.Tables4And5(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"table6", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.Table6(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"table7", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.Table7(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"change", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.ChangeAttack(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"mixed", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.MixedAttack(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"noise-fault", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.NoiseFault(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"figure12", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.Figure12(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"ablation-hmm", func(_ exp.Config, w io.Writer) error {
+			res, err := exp.AblationOnlineVsBaumWelch(5000, 1)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"ablation-filters", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.AblationAlarmFilters(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"ablation-init", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.AblationInitialStates(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"ablation-majority", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.AblationMajoritySweep(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"ablation-baseline", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.AblationBaseline(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"ablation-baseline-attack", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.AblationBaselineAttack(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"ablation-noise", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.AblationNoiseSweep(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"ablation-window", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.AblationWindowSize(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+		{"ablation-latency", func(cfg exp.Config, w io.Writer) error {
+			res, err := exp.AblationDetectionLatency(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, res)
+			return err
+		}},
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	days := fs.Int("days", 31, "trace length in days (the paper evaluates one month)")
+	seed := fs.Int64("seed", 2006, "random seed")
+	only := fs.String("only", "", "run a single experiment by name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := exp.Config{Days: *days, Seed: *seed, KMeansInit: true}
+
+	ran := 0
+	for _, e := range experiments() {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		fmt.Fprintf(out, "==== %s %s\n", e.name, strings.Repeat("=", max(0, 60-len(e.name))))
+		if err := e.run(cfg, out); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment named %q", *only)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

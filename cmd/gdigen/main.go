@@ -1,0 +1,173 @@
+// Command gdigen generates synthetic Great-Duck-Island-style sensor traces
+// in CSV form, optionally with faults or attacks injected. The traces feed
+// cmd/sentinel or any external consumer of the schema
+// (time_seconds,sensor,temperature,humidity).
+//
+// Usage:
+//
+//	gdigen [flags] > trace.csv
+//
+// Examples:
+//
+//	gdigen -days 31 -sensors 10 -seed 7 > clean.csv
+//	gdigen -days 14 -fault stuck -fault-sensor 6 > stuck.csv
+//	gdigen -days 21 -attack deletion -malicious 0,1,2 > attacked.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sensorguard"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gdigen:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	days        int
+	sensors     int
+	seed        int64
+	lossProb    float64
+	malformProb float64
+	fault       string
+	faultSensor int
+	faultStart  time.Duration
+	attack      string
+	malicious   string
+}
+
+func run(args []string, out io.Writer) error {
+	var o options
+	fs := flag.NewFlagSet("gdigen", flag.ContinueOnError)
+	fs.IntVar(&o.days, "days", 31, "trace length in days")
+	fs.IntVar(&o.sensors, "sensors", 10, "number of motes")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed")
+	fs.Float64Var(&o.lossProb, "loss", 0.12, "per-message loss probability")
+	fs.Float64Var(&o.malformProb, "malform", 0.002, "per-message malformed-payload probability")
+	fs.StringVar(&o.fault, "fault", "", "fault to inject: stuck | calibration | additive | noise | decay")
+	fs.IntVar(&o.faultSensor, "fault-sensor", 6, "sensor carrying the fault")
+	fs.DurationVar(&o.faultStart, "fault-start", 48*time.Hour, "fault onset")
+	fs.StringVar(&o.attack, "attack", "", "attack to mount: creation | deletion | change")
+	fs.StringVar(&o.malicious, "malicious", "0,1,2", "comma-separated compromised sensor IDs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := sensorguard.DefaultTraceConfig()
+	cfg.Days = o.days
+	cfg.Sensors = o.sensors
+	cfg.Seed = o.seed
+	cfg.LossProb = o.lossProb
+	cfg.MalformProb = o.malformProb
+
+	var opts []sensorguard.DeploymentOption
+	if o.fault != "" {
+		plan, err := faultPlan(o)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, sensorguard.WithFaults(plan))
+	}
+	if o.attack != "" {
+		strat, err := attackStrategy(o)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, sensorguard.WithAttack(strat))
+	}
+
+	tr, err := sensorguard.GenerateTrace(cfg, opts...)
+	if err != nil {
+		return err
+	}
+	return sensorguard.WriteTraceCSV(out, tr)
+}
+
+func faultPlan(o options) (*sensorguard.FaultPlan, error) {
+	var injector sensorguard.FaultInjector
+	switch o.fault {
+	case "stuck":
+		injector = sensorguard.StuckAtFault{Value: sensorguard.Vector{15, 1}}
+	case "calibration":
+		injector = sensorguard.CalibrationFault{Factors: sensorguard.Vector{1 / 1.24, 1 / 1.16}}
+	case "additive":
+		injector = sensorguard.AdditiveFault{Offsets: sensorguard.Vector{9, 5}}
+	case "decay":
+		injector = sensorguard.DecayToStuckFault{
+			Floor:        sensorguard.Vector{15, 1},
+			TimeConstant: 12 * time.Hour,
+		}
+	case "noise":
+		var err error
+		injector, err = sensorguard.NewRandomNoiseFault([]float64{6, 15}, o.seed+100)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown fault %q", o.fault)
+	}
+	return sensorguard.NewFaultPlan(sensorguard.FaultSchedule{
+		Sensor:   o.faultSensor,
+		Injector: injector,
+		Start:    o.faultStart,
+	})
+}
+
+func attackStrategy(o options) (sensorguard.AttackStrategy, error) {
+	ids, err := parseIDs(o.malicious)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := sensorguard.NewAdversary(ids, sensorguard.GDIRanges())
+	if err != nil {
+		return nil, err
+	}
+	switch o.attack {
+	case "creation":
+		inner := &sensorguard.DynamicCreationAttack{
+			Adversary: adv,
+			Target:    sensorguard.Vector{14, 66},
+			Start:     4 * 24 * time.Hour,
+		}
+		return sensorguard.PeriodicAttackWindow(inner, 24*time.Hour, 0, 3*time.Hour+30*time.Minute)
+	case "deletion":
+		return &sensorguard.DynamicDeletionAttack{
+			Adversary:   adv,
+			Target:      sensorguard.Vector{31, 56},
+			ReplaceWith: sensorguard.Vector{24, 70},
+			Radius:      6,
+			Start:       3 * 24 * time.Hour,
+		}, nil
+	case "change":
+		return &sensorguard.DynamicChangeAttack{
+			Adversary: adv,
+			Offset:    sensorguard.Vector{5, -12},
+			Start:     2 * 24 * time.Hour,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown attack %q", o.attack)
+	}
+}
+
+func parseIDs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad sensor ID %q", p)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

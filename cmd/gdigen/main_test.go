@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sensorguard"
+)
+
+func TestRunGeneratesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-days", "2", "-sensors", "5", "-seed", "3"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tr, err := sensorguard.ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if got := len(tr.Sensors()); got != 5 {
+		t.Errorf("sensors = %d, want 5", got)
+	}
+	if len(tr.Readings) < 1000 {
+		t.Errorf("readings = %d, want a 2-day trace", len(tr.Readings))
+	}
+}
+
+func TestRunFaultVariants(t *testing.T) {
+	for _, f := range []string{"stuck", "calibration", "additive", "decay", "noise"} {
+		t.Run(f, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run([]string{"-days", "2", "-fault", f, "-fault-start", "1h"}, &buf)
+			if err != nil {
+				t.Fatalf("run with fault %s: %v", f, err)
+			}
+			if buf.Len() == 0 {
+				t.Error("empty output")
+			}
+		})
+	}
+	if err := run([]string{"-fault", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown fault accepted")
+	}
+}
+
+func TestRunAttackVariants(t *testing.T) {
+	for _, a := range []string{"creation", "deletion", "change"} {
+		t.Run(a, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run([]string{"-days", "2", "-attack", a}, &buf); err != nil {
+				t.Fatalf("run with attack %s: %v", a, err)
+			}
+		})
+	}
+	if err := run([]string{"-attack", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown attack accepted")
+	}
+	if err := run([]string{"-attack", "deletion", "-malicious", "a,b"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad malicious list accepted")
+	}
+}
+
+func TestRunStuckFaultShowsInOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-days", "2", "-fault", "stuck", "-fault-sensor", "3", "-fault-start", "1h"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Stuck readings "15,1" must appear in the CSV rows of sensor 3.
+	found := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, ",3,15,1") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("stuck values not present in trace output")
+	}
+}
+
+func TestParseIDs(t *testing.T) {
+	ids, err := parseIDs("0, 1,2")
+	if err != nil || len(ids) != 3 || ids[2] != 2 {
+		t.Errorf("parseIDs = %v, %v", ids, err)
+	}
+	if _, err := parseIDs("x"); err == nil {
+		t.Error("bad ID accepted")
+	}
+}

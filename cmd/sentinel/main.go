@@ -1,0 +1,232 @@
+// Command sentinel runs the error/attack detector over a sensor trace and
+// prints the diagnosis: the network-level attack analysis, per-sensor error
+// diagnoses, the recovered correct Markov model of the environment, and the
+// estimated HMM emission matrices.
+//
+// Usage:
+//
+//	sentinel [flags] trace.csv
+//	gdigen -days 14 -fault stuck | sentinel -
+//
+// The trace must be in the gdigen CSV schema
+// (time_seconds,sensor,temperature,humidity).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sensorguard"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("sentinel", flag.ContinueOnError)
+	states := fs.Int("states", 6, "number of initial model states (k-means over the first day)")
+	seed := fs.Int64("seed", 1, "random seed for the initial clustering")
+	window := fs.Duration("window", time.Hour, "observation window duration w")
+	matrices := fs.Bool("matrices", true, "print the B^CO and B^CE matrices")
+	dot := fs.Bool("dot", false, "print the correct Markov model in Graphviz dot form")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sentinel [flags] <trace.csv | ->")
+	}
+
+	var in io.Reader
+	if fs.Arg(0) == "-" {
+		in = stdin
+	} else {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := sensorguard.ReadTraceCSV(in)
+	if err != nil {
+		return err
+	}
+	if len(tr.Readings) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	// Seed the model states from the first day, as in the paper's setup.
+	var firstDay []sensorguard.Reading
+	dayEnd := tr.Readings[0].Time + 24*time.Hour
+	for _, r := range tr.Readings {
+		if r.Time < dayEnd {
+			firstDay = append(firstDay, r)
+		}
+	}
+	seeds, err := sensorguard.InitialStatesFromReadings(firstDay, *states, *seed)
+	if err != nil {
+		return fmt.Errorf("seed states: %w", err)
+	}
+
+	cfg := sensorguard.DefaultConfig(seeds)
+	cfg.Window = *window
+	det, err := sensorguard.NewDetector(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := det.ProcessTrace(tr.Readings); err != nil {
+		return err
+	}
+	rep, err := det.Report()
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		data, err := rep.MarshalIndentJSON()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(out, string(data))
+		return err
+	}
+	printReport(out, det, rep, *matrices, *dot)
+	return nil
+}
+
+func printReport(out io.Writer, det *sensorguard.Detector, rep sensorguard.Report, matrices, dot bool) {
+	fmt.Fprintf(out, "windows processed: %d (skipped %d)\n", det.Steps(), det.SkippedWindows())
+	fmt.Fprintf(out, "anomaly detected:  %v\n", rep.Detected)
+	fmt.Fprintf(out, "overall diagnosis: %v\n", rep.Overall())
+	fmt.Fprintf(out, "network analysis:  %v (confidence %.2f)\n", rep.Network.Kind, rep.Network.Confidence)
+	for _, v := range rep.Network.RowViolations {
+		if v.I != v.J {
+			fmt.Fprintf(out, "  deleted-state evidence: states %d,%d share observables (dot %.2f)\n", v.I, v.J, v.Dot)
+		}
+	}
+	for _, v := range rep.Network.ColViolations {
+		fmt.Fprintf(out, "  created-state evidence: observables %d,%d share a hidden state (dot %.2f)\n", v.I, v.J, v.Dot)
+	}
+	if len(rep.Suspects) > 0 {
+		fmt.Fprintf(out, "open tracks:       sensors %v\n", rep.Suspects)
+	}
+	if q := det.Quarantined(); len(q) > 0 {
+		fmt.Fprintf(out, "quarantined:       sensors %v\n", q)
+	}
+
+	ids := make([]int, 0, len(rep.Sensors))
+	for id := range rep.Sensors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		d := rep.Sensors[id]
+		fmt.Fprintf(out, "sensor %d: %v (confidence %.2f)", id, d.Kind, d.Confidence)
+		if d.Kind == sensorguard.KindStuckAt {
+			if attrs, ok := det.StateAttributes()[d.StuckState]; ok {
+				fmt.Fprintf(out, " at %v", attrs)
+			}
+		}
+		if d.Kind == sensorguard.KindCalibration && len(d.Ratio.Mean) > 0 {
+			fmt.Fprintf(out, " ratio %s", formatVec(d.Ratio.Mean))
+		}
+		if d.Kind == sensorguard.KindAdditive && len(d.Diff.Mean) > 0 {
+			fmt.Fprintf(out, " offset %s", formatVec(negate(d.Diff.Mean)))
+		}
+		fmt.Fprintln(out)
+	}
+
+	fmt.Fprintln(out, "\ncorrect environment model M_C:")
+	attrs := det.StateAttributes()
+	mc := det.CorrectChain()
+	occ := mc.StationaryOccupancy()
+	stateIDs := mc.IDs()
+	sort.Slice(stateIDs, func(i, j int) bool { return occ[stateIDs[i]] > occ[stateIDs[j]] })
+	for _, id := range stateIDs {
+		if occ[id] < 0.01 {
+			continue
+		}
+		fmt.Fprintf(out, "  state %v  occupancy %.2f\n", attrs[id], occ[id])
+	}
+	for _, t := range mc.Transitions(0.05) {
+		fmt.Fprintf(out, "  %v -> %v  p=%.2f\n", attrs[t.From], attrs[t.To], t.Prob)
+	}
+
+	if matrices {
+		co := det.ModelCO()
+		fmt.Fprintln(out, "\nB^CO (hidden correct states x observable states):")
+		printMatrix(out, co.HiddenIDs, co.SymbolIDs, co.B, attrs)
+		for _, id := range det.TrackedSensors() {
+			if ce, ok := det.ModelCE(id); ok {
+				fmt.Fprintf(out, "\nB^CE sensor %d:\n", id)
+				printMatrix(out, ce.HiddenIDs, ce.SymbolIDs, ce.B, attrs)
+			}
+		}
+	}
+	if dot {
+		fmt.Fprintln(out, "\n"+mc.Dot(labelMap(attrs), 0.05))
+	}
+}
+
+func printMatrix(out io.Writer, hidden, symbols []int, m interface {
+	Rows() int
+	Cols() int
+	At(int, int) float64
+}, attrs map[int]sensorguard.Vector) {
+	label := func(id int) string {
+		if v, ok := attrs[id]; ok {
+			return v.String()
+		}
+		if id < 0 {
+			return "⊥"
+		}
+		return "s" + strconv.Itoa(id)
+	}
+	fmt.Fprintf(out, "%12s", "")
+	for _, id := range symbols {
+		fmt.Fprintf(out, "%12s", label(id))
+	}
+	fmt.Fprintln(out)
+	for i, hid := range hidden {
+		fmt.Fprintf(out, "%12s", label(hid))
+		for j := range symbols {
+			fmt.Fprintf(out, "%12.3f", m.At(i, j))
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+func labelMap(attrs map[int]sensorguard.Vector) map[int]string {
+	out := make(map[int]string, len(attrs))
+	for id, v := range attrs {
+		out[id] = v.String()
+	}
+	return out
+}
+
+func formatVec(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatFloat(x, 'f', 2, 64)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func negate(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = -x
+	}
+	return out
+}

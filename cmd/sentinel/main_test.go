@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sensorguard"
+)
+
+// writeTestTrace generates a trace with a stuck sensor and writes it to a
+// temp CSV file, returning the path.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	plan, err := sensorguard.NewFaultPlan(sensorguard.FaultSchedule{
+		Sensor:   6,
+		Injector: sensorguard.StuckAtFault{Value: sensorguard.Vector{15, 1}},
+		Start:    36 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sensorguard.DefaultTraceConfig()
+	cfg.Days = 7
+	tr, err := sensorguard.GenerateTrace(cfg, sensorguard.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := sensorguard.WriteTraceCSV(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDiagnosesTraceFile(t *testing.T) {
+	path := writeTestTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"anomaly detected:  true",
+		"overall diagnosis: stuck-at",
+		"network analysis:  none",
+		"sensor 6: stuck-at",
+		"correct environment model M_C",
+		"B^CO",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+}
+
+func TestRunReadsStdin(t *testing.T) {
+	path := writeTestTrace(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-matrices=false", "-"}, f, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "B^CO") {
+		t.Error("-matrices=false still printed matrices")
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	path := writeTestTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-dot", "-matrices=false", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph chain") {
+		t.Error("-dot did not emit graphviz output")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeTestTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-json", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{`"detected": true`, `"overall": "stuck-at"`, `"sensors"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if err := run([]string{"/nonexistent/trace.csv"}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-"}, strings.NewReader("not,a,trace\n"), &bytes.Buffer{}); err == nil {
+		t.Error("malformed trace accepted")
+	}
+	if err := run([]string{"-"}, strings.NewReader("time_seconds,sensor,temperature\n"), &bytes.Buffer{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

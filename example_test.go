@@ -1,0 +1,72 @@
+package sensorguard_test
+
+import (
+	"fmt"
+	"time"
+
+	"sensorguard"
+)
+
+// ExampleNewDetector shows the minimal detection loop: generate a trace with
+// a stuck sensor, run the detector, and print the diagnosis.
+func ExampleNewDetector() {
+	plan, err := sensorguard.NewFaultPlan(sensorguard.FaultSchedule{
+		Sensor:   6,
+		Injector: sensorguard.StuckAtFault{Value: sensorguard.Vector{15, 1}},
+		Start:    48 * time.Hour,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cfg := sensorguard.DefaultTraceConfig()
+	cfg.Days = 7
+	trace, err := sensorguard.GenerateTrace(cfg, sensorguard.WithFaults(plan))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	states := []sensorguard.Vector{{12, 94}, {17, 84}, {24, 70}, {31, 56}}
+	det, err := sensorguard.NewDetector(sensorguard.DefaultConfig(states))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := det.ProcessTrace(trace.Readings); err != nil {
+		fmt.Println(err)
+		return
+	}
+	report, err := det.Report()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("detected:", report.Detected)
+	fmt.Println("network:", report.Network.Kind)
+	fmt.Println("sensor 6:", report.Sensors[6].Kind)
+	// Output:
+	// detected: true
+	// network: none
+	// sensor 6: stuck-at
+}
+
+// ExampleGenerateTrace shows trace generation and the CSV schema.
+func ExampleGenerateTrace() {
+	cfg := sensorguard.DefaultTraceConfig()
+	cfg.Days = 1
+	cfg.Sensors = 3
+	cfg.LossProb = 0
+	trace, err := sensorguard.GenerateTrace(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("attributes:", trace.Attributes)
+	fmt.Println("sensors:", len(trace.Sensors()))
+	fmt.Println("readings:", len(trace.Readings))
+	// Output:
+	// attributes: [temperature humidity]
+	// sensors: 3
+	// readings: 864
+}

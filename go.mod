@@ -1,0 +1,3 @@
+module sensorguard
+
+go 1.22

@@ -1,0 +1,277 @@
+// Package attack implements the paper's sensor attack model (§3.3): an
+// adversary who has captured and reprogrammed a subset of the sensor nodes
+// and injects malicious data to disrupt or control the environmental
+// sensing of the network.
+//
+// Unlike accidental faults, the adversary is an intelligent entity: it
+// observes the readings of the *correct* sensors in every round and solves
+// for the injection that moves (Dynamic Creation), pins (Dynamic Deletion),
+// or displaces (Dynamic Change) the network-level mean — while keeping every
+// injected value inside the admissible attribute ranges, since out-of-range
+// values would be trivially caught by range checking (§4.2).
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+// Strategy rewrites the readings of malicious sensors given the full view of
+// one sampling round. Implementations must not mutate the input slice or its
+// readings.
+type Strategy interface {
+	// Name identifies the attack type for reports.
+	Name() string
+	// Apply returns the round's readings with malicious sensors' values
+	// replaced. Readings of correct sensors pass through unchanged.
+	Apply(t time.Duration, readings []sensor.Reading) []sensor.Reading
+}
+
+// Adversary is the shared attacker state: which sensors it controls and the
+// admissible ranges it must respect.
+type Adversary struct {
+	malicious map[int]bool
+	ranges    []sensor.Range
+}
+
+// NewAdversary builds an adversary controlling the given sensors. ranges
+// bound the injected values per attribute (nil disables clamping).
+func NewAdversary(malicious []int, ranges []sensor.Range) (*Adversary, error) {
+	if len(malicious) == 0 {
+		return nil, errors.New("attack: adversary controls no sensors")
+	}
+	m := make(map[int]bool, len(malicious))
+	for _, id := range malicious {
+		if m[id] {
+			return nil, fmt.Errorf("attack: duplicate malicious sensor %d", id)
+		}
+		m[id] = true
+	}
+	return &Adversary{malicious: m, ranges: append([]sensor.Range(nil), ranges...)}, nil
+}
+
+// Controls reports whether the adversary controls the sensor.
+func (a *Adversary) Controls(id int) bool { return a.malicious[id] }
+
+// Malicious returns the number of controlled sensors.
+func (a *Adversary) Malicious() int { return len(a.malicious) }
+
+// correctMean returns the mean of readings from sensors the adversary does
+// not control, or false when there are none.
+func (a *Adversary) correctMean(readings []sensor.Reading) (vecmat.Vector, bool) {
+	var sum vecmat.Vector
+	n := 0
+	for _, r := range readings {
+		if a.malicious[r.Sensor] {
+			continue
+		}
+		if sum == nil {
+			sum = vecmat.NewVector(len(r.Values))
+		}
+		if err := sum.AddInPlace(r.Values); err != nil {
+			return nil, false
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, false
+	}
+	return sum.Scale(1 / float64(n)), true
+}
+
+// compensate returns the round with every controlled sensor reporting the
+// value that drives the mean over all sensors to target:
+//
+//	v = (N·target − Σ_correct p_j) / N_malicious
+//
+// clamped to the admissible ranges. With clamping active the achieved mean
+// may fall short of the target — the paper accepts the same limitation
+// (Fig. 10: humidity cannot be pinned exactly without exceeding 100%).
+func (a *Adversary) compensate(readings []sensor.Reading, target vecmat.Vector) []sensor.Reading {
+	var correctSum vecmat.Vector
+	present := 0
+	nMal := 0
+	for _, r := range readings {
+		if correctSum == nil {
+			correctSum = vecmat.NewVector(len(r.Values))
+		}
+		if a.malicious[r.Sensor] {
+			nMal++
+			continue
+		}
+		if err := correctSum.AddInPlace(r.Values); err != nil {
+			return cloneRound(readings)
+		}
+		present++
+	}
+	out := cloneRound(readings)
+	if nMal == 0 || correctSum == nil {
+		return out
+	}
+	total := present + nMal
+	inject := make(vecmat.Vector, len(target))
+	for i := range target {
+		if i < len(correctSum) {
+			inject[i] = (float64(total)*target[i] - correctSum[i]) / float64(nMal)
+		}
+	}
+	inject = sensor.ClampVector(inject, a.ranges)
+	for i := range out {
+		if a.malicious[out[i].Sensor] {
+			out[i].Values = inject.Clone()
+		}
+	}
+	return out
+}
+
+func cloneRound(readings []sensor.Reading) []sensor.Reading {
+	out := make([]sensor.Reading, len(readings))
+	for i, r := range readings {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// window reports whether t falls inside [start, end), with end == 0 meaning
+// open-ended.
+func window(t, start, end time.Duration) bool {
+	if t < start {
+		return false
+	}
+	return end == 0 || t < end
+}
+
+// DynamicCreation introduces a spurious state: during its active window the
+// adversary drives the network mean to Target although the true environment
+// has not moved (§3.3: "the overall temperature measured by the network
+// moves from the valid readings").
+type DynamicCreation struct {
+	Adversary *Adversary
+	// Target is the fake observable state the adversary creates.
+	Target vecmat.Vector
+	// Start and End bound the attack window (End 0 = open-ended).
+	Start, End time.Duration
+}
+
+var _ Strategy = (*DynamicCreation)(nil)
+
+// Name implements Strategy.
+func (*DynamicCreation) Name() string { return "dynamic-creation" }
+
+// Apply implements Strategy.
+func (d *DynamicCreation) Apply(t time.Duration, readings []sensor.Reading) []sensor.Reading {
+	if !window(t, d.Start, d.End) {
+		return cloneRound(readings)
+	}
+	return d.Adversary.compensate(readings, d.Target)
+}
+
+// DynamicDeletion removes a valid state: whenever the correct sensors are
+// about to report Target, the adversary injects compensating values that
+// keep the network mean at ReplaceWith (§3.3: "the overall temperature
+// measured by the network does not change").
+type DynamicDeletion struct {
+	Adversary *Adversary
+	// Target is the environment state the adversary hides.
+	Target vecmat.Vector
+	// ReplaceWith is the state the network keeps observing instead.
+	ReplaceWith vecmat.Vector
+	// Radius triggers the attack when the correct mean is within this
+	// distance of Target.
+	Radius float64
+	// Start and End bound the attack window (End 0 = open-ended).
+	Start, End time.Duration
+}
+
+var _ Strategy = (*DynamicDeletion)(nil)
+
+// Name implements Strategy.
+func (*DynamicDeletion) Name() string { return "dynamic-deletion" }
+
+// Apply implements Strategy.
+func (d *DynamicDeletion) Apply(t time.Duration, readings []sensor.Reading) []sensor.Reading {
+	if !window(t, d.Start, d.End) {
+		return cloneRound(readings)
+	}
+	mean, ok := d.Adversary.correctMean(readings)
+	if !ok {
+		return cloneRound(readings)
+	}
+	dist, err := mean.Distance(d.Target)
+	if err != nil || dist > d.Radius {
+		return cloneRound(readings)
+	}
+	return d.Adversary.compensate(readings, d.ReplaceWith)
+}
+
+// DynamicChange displaces every state: the adversary shifts the network
+// mean by a fixed offset, so each correct state maps one-to-one onto a
+// different observable state without altering the temporal behaviour (§3.3:
+// each time correct sensors report 50 the network reports 10).
+type DynamicChange struct {
+	Adversary *Adversary
+	// Offset is added to the correct mean to obtain the displayed state.
+	Offset vecmat.Vector
+	// Start and End bound the attack window (End 0 = open-ended).
+	Start, End time.Duration
+}
+
+var _ Strategy = (*DynamicChange)(nil)
+
+// Name implements Strategy.
+func (*DynamicChange) Name() string { return "dynamic-change" }
+
+// Apply implements Strategy.
+func (d *DynamicChange) Apply(t time.Duration, readings []sensor.Reading) []sensor.Reading {
+	if !window(t, d.Start, d.End) {
+		return cloneRound(readings)
+	}
+	mean, ok := d.Adversary.correctMean(readings)
+	if !ok {
+		return cloneRound(readings)
+	}
+	target, err := mean.Add(d.Offset)
+	if err != nil {
+		return cloneRound(readings)
+	}
+	return d.Adversary.compensate(readings, target)
+}
+
+// Mixed mounts a combination of attacks (§3.3): the component strategies
+// apply in order, each seeing the output of the previous one.
+type Mixed struct {
+	Strategies []Strategy
+}
+
+var _ Strategy = (*Mixed)(nil)
+
+// Name implements Strategy.
+func (*Mixed) Name() string { return "mixed" }
+
+// Apply implements Strategy.
+func (m *Mixed) Apply(t time.Duration, readings []sensor.Reading) []sensor.Reading {
+	out := cloneRound(readings)
+	for _, s := range m.Strategies {
+		out = s.Apply(t, out)
+	}
+	return out
+}
+
+// Benign is the attack the paper explicitly does not classify: the attacker
+// behaves exactly like a correct sensor, altering nothing. It exists to test
+// that the methodology stays quiet on it.
+type Benign struct{}
+
+var _ Strategy = Benign{}
+
+// Name implements Strategy.
+func (Benign) Name() string { return "benign" }
+
+// Apply implements Strategy.
+func (Benign) Apply(_ time.Duration, readings []sensor.Reading) []sensor.Reading {
+	return cloneRound(readings)
+}

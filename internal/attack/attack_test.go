@@ -1,0 +1,223 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+// round builds one sampling round: sensors 0..n-1 all reading values.
+func round(n int, values vecmat.Vector) []sensor.Reading {
+	out := make([]sensor.Reading, n)
+	for i := range out {
+		out[i] = sensor.Reading{Sensor: i, Time: 0, Values: values.Clone()}
+	}
+	return out
+}
+
+func mean(readings []sensor.Reading) vecmat.Vector {
+	sum := vecmat.NewVector(len(readings[0].Values))
+	for _, r := range readings {
+		_ = sum.AddInPlace(r.Values)
+	}
+	return sum.Scale(1 / float64(len(readings)))
+}
+
+func mustAdversary(t *testing.T, malicious []int) *Adversary {
+	t.Helper()
+	a, err := NewAdversary(malicious, []sensor.Range{{Lo: -40, Hi: 60}, {Lo: 0, Hi: 100}})
+	if err != nil {
+		t.Fatalf("NewAdversary: %v", err)
+	}
+	return a
+}
+
+func TestNewAdversaryValidation(t *testing.T) {
+	if _, err := NewAdversary(nil, nil); err == nil {
+		t.Error("empty malicious set accepted")
+	}
+	if _, err := NewAdversary([]int{1, 1}, nil); err == nil {
+		t.Error("duplicate malicious sensor accepted")
+	}
+	a := mustAdversary(t, []int{2, 5})
+	if !a.Controls(2) || a.Controls(3) {
+		t.Error("Controls misreports")
+	}
+	if a.Malicious() != 2 {
+		t.Errorf("Malicious = %d, want 2", a.Malicious())
+	}
+}
+
+func TestDynamicCreationMovesMeanToTarget(t *testing.T) {
+	// 9 sensors, 3 malicious (one third, as in §4.2). Correct env at
+	// (17,86); the adversary creates observable state (25,69).
+	a := mustAdversary(t, []int{0, 1, 2})
+	atk := &DynamicCreation{Adversary: a, Target: vecmat.Vector{25, 69}}
+	in := round(9, vecmat.Vector{17, 86})
+	out := atk.Apply(time.Hour, in)
+
+	m := mean(out)
+	if math.Abs(m[0]-25) > 1e-9 || math.Abs(m[1]-69) > 1e-9 {
+		t.Errorf("attacked mean = %v, want (25,69)", m)
+	}
+	// Correct sensors untouched.
+	for _, r := range out[3:] {
+		if !r.Values.Equal(vecmat.Vector{17, 86}, 0) {
+			t.Errorf("correct sensor %d modified: %v", r.Sensor, r.Values)
+		}
+	}
+	// Malicious injections stay inside admissible ranges.
+	for _, r := range out[:3] {
+		if r.Values[1] < 0 || r.Values[1] > 100 {
+			t.Errorf("injected humidity %v outside range", r.Values[1])
+		}
+	}
+	// Input round untouched (no aliasing).
+	if !in[0].Values.Equal(vecmat.Vector{17, 86}, 0) {
+		t.Error("input readings mutated")
+	}
+}
+
+func TestDynamicCreationInactiveOutsideWindow(t *testing.T) {
+	a := mustAdversary(t, []int{0})
+	atk := &DynamicCreation{Adversary: a, Target: vecmat.Vector{50, 50}, Start: time.Hour, End: 2 * time.Hour}
+	in := round(3, vecmat.Vector{10, 90})
+	for _, tt := range []time.Duration{0, 2 * time.Hour, 3 * time.Hour} {
+		out := atk.Apply(tt, in)
+		if !mean(out).Equal(vecmat.Vector{10, 90}, 1e-9) {
+			t.Errorf("attack active outside window at %v", tt)
+		}
+	}
+	out := atk.Apply(90*time.Minute, in)
+	if mean(out).Equal(vecmat.Vector{10, 90}, 1e-9) {
+		t.Error("attack inactive inside window")
+	}
+}
+
+func TestDynamicCreationClampsInjection(t *testing.T) {
+	// Forcing the mean far beyond what in-range injections can achieve:
+	// with 1 of 3 sensors malicious and humidity capped at 100, the
+	// target mean 99 from a correct 95 requires injecting 107 → clamped.
+	a := mustAdversary(t, []int{0})
+	atk := &DynamicCreation{Adversary: a, Target: vecmat.Vector{12, 99}}
+	out := atk.Apply(0, round(3, vecmat.Vector{12, 95}))
+	if out[0].Values[1] != 100 {
+		t.Errorf("injected humidity = %v, want clamped 100", out[0].Values[1])
+	}
+	m := mean(out)
+	if m[1] > 99 {
+		t.Errorf("achieved mean %v exceeds the feasible maximum", m[1])
+	}
+}
+
+func TestDynamicDeletionPinsMean(t *testing.T) {
+	a := mustAdversary(t, []int{0, 1, 2})
+	atk := &DynamicDeletion{
+		Adversary:   a,
+		Target:      vecmat.Vector{29, 56},
+		ReplaceWith: vecmat.Vector{20, 70},
+		Radius:      5,
+	}
+	// Environment in the target state: attack pins the mean elsewhere.
+	out := atk.Apply(0, round(9, vecmat.Vector{29, 56}))
+	m := mean(out)
+	if math.Abs(m[0]-20) > 1e-9 || math.Abs(m[1]-70) > 1e-9 {
+		t.Errorf("deleted-state mean = %v, want (20,70)", m)
+	}
+	// Environment elsewhere: adversary stays quiet.
+	out = atk.Apply(0, round(9, vecmat.Vector{12, 94}))
+	if !mean(out).Equal(vecmat.Vector{12, 94}, 1e-9) {
+		t.Errorf("adversary acted outside target state: %v", mean(out))
+	}
+}
+
+func TestDynamicChangeDisplacesEveryState(t *testing.T) {
+	a := mustAdversary(t, []int{0, 1, 2})
+	atk := &DynamicChange{Adversary: a, Offset: vecmat.Vector{-10, 5}}
+	for _, base := range []vecmat.Vector{{29, 56}, {17, 84}} {
+		out := atk.Apply(0, round(9, base))
+		m := mean(out)
+		want, _ := base.Add(vecmat.Vector{-10, 5})
+		if !m.Equal(want, 1e-9) {
+			t.Errorf("changed mean for %v = %v, want %v", base, m, want)
+		}
+	}
+}
+
+func TestMixedAppliesAllComponents(t *testing.T) {
+	a := mustAdversary(t, []int{0, 1, 2})
+	atk := &Mixed{Strategies: []Strategy{
+		&DynamicDeletion{Adversary: a, Target: vecmat.Vector{29, 56}, ReplaceWith: vecmat.Vector{20, 70}, Radius: 5},
+		&DynamicCreation{Adversary: a, Target: vecmat.Vector{5, 95}, Start: 10 * time.Hour},
+	}}
+	// Early on only the deletion component is active.
+	out := atk.Apply(0, round(9, vecmat.Vector{29, 56}))
+	if !mean(out).Equal(vecmat.Vector{20, 70}, 1e-9) {
+		t.Errorf("deletion component inactive in mixed attack: %v", mean(out))
+	}
+	// Later the creation component overrides.
+	out = atk.Apply(11*time.Hour, round(9, vecmat.Vector{12, 94}))
+	if !mean(out).Equal(vecmat.Vector{5, 95}, 1e-9) {
+		t.Errorf("creation component inactive in mixed attack: %v", mean(out))
+	}
+	if atk.Name() != "mixed" {
+		t.Errorf("Name = %q", atk.Name())
+	}
+}
+
+func TestBenignChangesNothing(t *testing.T) {
+	in := round(4, vecmat.Vector{1, 2})
+	out := Benign{}.Apply(0, in)
+	for i := range in {
+		if !out[i].Values.Equal(in[i].Values, 0) {
+			t.Error("benign attack modified readings")
+		}
+	}
+	out[0].Values[0] = 99
+	if in[0].Values[0] != 1 {
+		t.Error("benign output aliases input")
+	}
+}
+
+func TestCompensateWithAllSensorsMalicious(t *testing.T) {
+	// No correct sensors: deletion and change need the correct mean and
+	// must degrade to a no-op rather than panic.
+	a := mustAdversary(t, []int{0, 1})
+	del := &DynamicDeletion{Adversary: a, Target: vecmat.Vector{1, 1}, ReplaceWith: vecmat.Vector{2, 2}, Radius: 100}
+	in := round(2, vecmat.Vector{1, 1})
+	out := del.Apply(0, in)
+	if !mean(out).Equal(vecmat.Vector{1, 1}, 1e-9) {
+		t.Errorf("deletion without correct sensors acted: %v", mean(out))
+	}
+	chg := &DynamicChange{Adversary: a, Offset: vecmat.Vector{5, 5}}
+	out = chg.Apply(0, in)
+	if !mean(out).Equal(vecmat.Vector{1, 1}, 1e-9) {
+		t.Errorf("change without correct sensors acted: %v", mean(out))
+	}
+	// Creation can still act (it does not need the correct mean), driving
+	// both malicious sensors to the target directly.
+	crt := &DynamicCreation{Adversary: a, Target: vecmat.Vector{30, 40}}
+	out = crt.Apply(0, in)
+	if !mean(out).Equal(vecmat.Vector{30, 40}, 1e-9) {
+		t.Errorf("creation with all-malicious round = %v, want (30,40)", mean(out))
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	a := mustAdversary(t, []int{0})
+	if (&DynamicCreation{Adversary: a}).Name() != "dynamic-creation" {
+		t.Error("creation name")
+	}
+	if (&DynamicDeletion{Adversary: a}).Name() != "dynamic-deletion" {
+		t.Error("deletion name")
+	}
+	if (&DynamicChange{Adversary: a}).Name() != "dynamic-change" {
+		t.Error("change name")
+	}
+	if (Benign{}).Name() != "benign" {
+		t.Error("benign name")
+	}
+}

@@ -1,0 +1,58 @@
+package attack
+
+import (
+	"errors"
+	"time"
+
+	"sensorguard/internal/sensor"
+)
+
+// Gated activates an inner strategy only when Active returns true for the
+// round's timestamp; outside that, readings pass through untouched. It
+// composes with the inner strategy's own Start/End window.
+type Gated struct {
+	Inner  Strategy
+	Active func(t time.Duration) bool
+}
+
+var _ Strategy = (*Gated)(nil)
+
+// Name implements Strategy.
+func (g *Gated) Name() string { return g.Inner.Name() }
+
+// Apply implements Strategy.
+func (g *Gated) Apply(t time.Duration, readings []sensor.Reading) []sensor.Reading {
+	if g.Active == nil || !g.Active(t) {
+		return cloneRound(readings)
+	}
+	return g.Inner.Apply(t, readings)
+}
+
+// PeriodicGate returns an activation predicate that is true during
+// [offset, offset+duration) of every period — e.g. "nightly between 00:00
+// and 03:30" with period = 24h. An adversary that strikes only part of a
+// recurring environment dwell is what produces the paper's split-row
+// Dynamic-Creation signature (Table 7), as opposed to wholesale state
+// substitution.
+func PeriodicGate(period, offset, duration time.Duration) (func(time.Duration) bool, error) {
+	if period <= 0 {
+		return nil, errors.New("attack: gate period must be positive")
+	}
+	if offset < 0 || offset >= period {
+		return nil, errors.New("attack: gate offset outside period")
+	}
+	if duration <= 0 || duration > period {
+		return nil, errors.New("attack: gate duration outside (0, period]")
+	}
+	return func(t time.Duration) bool {
+		phase := t % period
+		if phase < 0 {
+			phase += period
+		}
+		end := offset + duration
+		if end <= period {
+			return phase >= offset && phase < end
+		}
+		return phase >= offset || phase < end-period
+	}, nil
+}

@@ -1,0 +1,104 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"sensorguard/internal/vecmat"
+)
+
+func TestPeriodicGateValidation(t *testing.T) {
+	day := 24 * time.Hour
+	if _, err := PeriodicGate(0, 0, time.Hour); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := PeriodicGate(day, -time.Hour, time.Hour); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := PeriodicGate(day, 25*time.Hour, time.Hour); err == nil {
+		t.Error("offset beyond period accepted")
+	}
+	if _, err := PeriodicGate(day, 0, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := PeriodicGate(day, 0, 25*time.Hour); err == nil {
+		t.Error("duration beyond period accepted")
+	}
+}
+
+func TestPeriodicGateWindows(t *testing.T) {
+	day := 24 * time.Hour
+	gate, err := PeriodicGate(day, 2*time.Hour, 3*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    time.Duration
+		want bool
+	}{
+		{0, false},
+		{2 * time.Hour, true},
+		{4 * time.Hour, true},
+		{5 * time.Hour, false},
+		{day + 3*time.Hour, true}, // repeats daily
+		{day + 6*time.Hour, false},
+	}
+	for _, tc := range cases {
+		if got := gate(tc.t); got != tc.want {
+			t.Errorf("gate(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestPeriodicGateWrapsMidnight(t *testing.T) {
+	day := 24 * time.Hour
+	// 23:00 for 2h wraps to 01:00.
+	gate, err := PeriodicGate(day, 23*time.Hour, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gate(23*time.Hour + 30*time.Minute) {
+		t.Error("inactive at 23:30")
+	}
+	if !gate(day + 30*time.Minute) {
+		t.Error("inactive at 00:30 next day")
+	}
+	if gate(2 * time.Hour) {
+		t.Error("active at 02:00")
+	}
+}
+
+func TestGatedPassThrough(t *testing.T) {
+	a := mustAdversary(t, []int{0})
+	inner := &DynamicCreation{Adversary: a, Target: vecmat.Vector{50, 50}}
+	gate, err := PeriodicGate(24*time.Hour, 0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Gated{Inner: inner, Active: gate}
+	if g.Name() != "dynamic-creation" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	in := round(3, vecmat.Vector{10, 90})
+
+	// Inside the gate the inner attack acts.
+	out := g.Apply(30*time.Minute, in)
+	if mean(out).Equal(vecmat.Vector{10, 90}, 1e-9) {
+		t.Error("inner attack inactive inside gate")
+	}
+	// Outside the gate readings pass through, deep-copied.
+	out = g.Apply(2*time.Hour, in)
+	if !mean(out).Equal(vecmat.Vector{10, 90}, 1e-9) {
+		t.Error("attack active outside gate")
+	}
+	out[0].Values[0] = 99
+	if in[0].Values[0] != 10 {
+		t.Error("gated output aliases input")
+	}
+	// Nil predicate: always pass-through.
+	g2 := &Gated{Inner: inner}
+	out = g2.Apply(30*time.Minute, in)
+	if !mean(out).Equal(vecmat.Vector{10, 90}, 1e-9) {
+		t.Error("nil gate activated attack")
+	}
+}

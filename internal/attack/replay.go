@@ -1,0 +1,95 @@
+package attack
+
+import (
+	"time"
+
+	"sensorguard/internal/sensor"
+)
+
+// Replay is a beyond-paper attack probe: compromised sensors replay their
+// own earlier (clean) readings with a fixed delay. Every replayed value is
+// individually plausible — it is a real environmental reading — but the
+// temporal alignment with the rest of the network is broken: at night the
+// malicious sensors report yesterday afternoon, and so on.
+//
+// Against the paper's methodology this behaves like a coordinated
+// displacement of the observable mean whose direction changes with the
+// phase of the environment cycle; the exploratory scenario test records how
+// the structural classifier reads it.
+type Replay struct {
+	Adversary *Adversary
+	// Delay is how stale the replayed readings are.
+	Delay time.Duration
+	// Start and End bound the attack window (End 0 = open-ended).
+	Start, End time.Duration
+
+	// buffer holds, per controlled sensor, its past clean readings keyed
+	// by sample time. Entries older than Delay plus one sample period
+	// are pruned lazily.
+	buffer map[int][]sensor.Reading
+}
+
+var _ Strategy = (*Replay)(nil)
+
+// Name implements Strategy.
+func (*Replay) Name() string { return "replay" }
+
+// Apply implements Strategy. It always records the controlled sensors'
+// clean readings (the adversary taps them continuously) and, inside the
+// active window, substitutes the reading from Delay ago when one exists.
+func (r *Replay) Apply(t time.Duration, readings []sensor.Reading) []sensor.Reading {
+	if r.buffer == nil {
+		r.buffer = make(map[int][]sensor.Reading)
+	}
+	out := cloneRound(readings)
+	for i := range out {
+		id := out[i].Sensor
+		if !r.Adversary.Controls(id) {
+			continue
+		}
+		// Record the clean reading before any substitution.
+		r.buffer[id] = append(r.buffer[id], out[i].Clone())
+		r.prune(id, t)
+		if !window(t, r.Start, r.End) {
+			continue
+		}
+		if old, ok := r.lookup(id, t-r.Delay); ok {
+			out[i].Values = old.Values.Clone()
+		}
+	}
+	return out
+}
+
+// lookup returns the buffered reading nearest to the wanted time, if any
+// buffered reading is within a quarter of the delay of it.
+func (r *Replay) lookup(id int, want time.Duration) (sensor.Reading, bool) {
+	buf := r.buffer[id]
+	bestIdx := -1
+	var bestDist time.Duration
+	for i := range buf {
+		d := buf[i].Time - want
+		if d < 0 {
+			d = -d
+		}
+		if bestIdx < 0 || d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	if bestIdx < 0 || bestDist > r.Delay/4 {
+		return sensor.Reading{}, false
+	}
+	return buf[bestIdx], true
+}
+
+// prune drops buffered readings too old to ever be replayed again.
+func (r *Replay) prune(id int, now time.Duration) {
+	cutoff := now - r.Delay - time.Hour
+	buf := r.buffer[id]
+	kept := buf[:0]
+	for _, b := range buf {
+		if b.Time >= cutoff {
+			kept = append(kept, b)
+		}
+	}
+	r.buffer[id] = kept
+}

@@ -1,0 +1,63 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+func TestReplaySubstitutesStaleReadings(t *testing.T) {
+	a := mustAdversary(t, []int{0})
+	r := &Replay{Adversary: a, Delay: 2 * time.Hour}
+
+	// Feed an evolving environment: value = hour index.
+	for h := 0; h < 6; h++ {
+		in := []sensor.Reading{
+			{Sensor: 0, Time: time.Duration(h) * time.Hour, Values: vecmat.Vector{float64(h), 0}},
+			{Sensor: 1, Time: time.Duration(h) * time.Hour, Values: vecmat.Vector{float64(h), 0}},
+		}
+		out := r.Apply(time.Duration(h)*time.Hour, in)
+		// Correct sensor untouched.
+		if out[1].Values[0] != float64(h) {
+			t.Fatalf("hour %d: correct sensor modified: %v", h, out[1].Values)
+		}
+		switch {
+		case h < 2:
+			// Nothing buffered far enough back: clean pass-through.
+			if out[0].Values[0] != float64(h) {
+				t.Errorf("hour %d: premature replay: %v", h, out[0].Values)
+			}
+		default:
+			// Replayed from two hours ago.
+			if out[0].Values[0] != float64(h-2) {
+				t.Errorf("hour %d: replayed %v, want %v", h, out[0].Values[0], h-2)
+			}
+		}
+	}
+}
+
+func TestReplayRespectsWindow(t *testing.T) {
+	a := mustAdversary(t, []int{0})
+	r := &Replay{Adversary: a, Delay: time.Hour, Start: 10 * time.Hour}
+	for h := 0; h < 5; h++ {
+		in := []sensor.Reading{{Sensor: 0, Time: time.Duration(h) * time.Hour, Values: vecmat.Vector{float64(h), 0}}}
+		out := r.Apply(time.Duration(h)*time.Hour, in)
+		if out[0].Values[0] != float64(h) {
+			t.Errorf("hour %d: replay active before Start", h)
+		}
+	}
+}
+
+func TestReplayPrunesBuffer(t *testing.T) {
+	a := mustAdversary(t, []int{0})
+	r := &Replay{Adversary: a, Delay: time.Hour}
+	for h := 0; h < 200; h++ {
+		in := []sensor.Reading{{Sensor: 0, Time: time.Duration(h) * time.Hour, Values: vecmat.Vector{1, 1}}}
+		r.Apply(time.Duration(h)*time.Hour, in)
+	}
+	if n := len(r.buffer[0]); n > 5 {
+		t.Errorf("buffer holds %d readings, want pruned to the delay horizon", n)
+	}
+}

@@ -1,0 +1,206 @@
+// Package baseline implements the prior-work anomaly detector the paper
+// contrasts against (§2, citing Warrender et al. [5]): a single Hidden
+// Markov Model λ identified with classical Baum-Welch over an attack-free
+// training sequence, flagging an anomaly whenever the log-likelihood
+// Pr{O|λ} of the recent observation window drops below a threshold η.
+//
+// The paper's critique, which the ablation experiments quantify:
+//
+//  1. training requires an attack-free phase and is expensive (the cited
+//     deployment took ~2 weeks of compute);
+//  2. hidden states are arbitrary and carry no physical interpretation;
+//  3. the detector says only "anomalous", with no error-versus-attack
+//     distinction, no fault typing, and no culprit identification.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sensorguard/internal/cluster"
+	"sensorguard/internal/hmm"
+	"sensorguard/internal/vecmat"
+)
+
+// Config parameterises the baseline detector.
+type Config struct {
+	// HiddenStates is the HMM dimension (arbitrary, per the critique).
+	HiddenStates int
+	// Symbols is the observation alphabet size; readings are quantised
+	// to their nearest of Symbols k-means centroids.
+	Symbols int
+	// TrainIters bounds the Baum-Welch iterations.
+	TrainIters int
+	// ScoreWindow is the number of recent observations scored together.
+	ScoreWindow int
+	// Threshold is the per-symbol log-likelihood below which the window
+	// is anomalous. When zero, Calibrate derives it from training data.
+	Threshold float64
+	// Seed drives quantiser initialisation.
+	Seed int64
+}
+
+// DefaultConfig mirrors the shape of the prior work scaled to the GDI data.
+func DefaultConfig() Config {
+	return Config{
+		HiddenStates: 6,
+		Symbols:      8,
+		TrainIters:   50,
+		ScoreWindow:  24,
+		Seed:         1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.HiddenStates < 1 || c.Symbols < 2 {
+		return errors.New("baseline: need at least 1 hidden state and 2 symbols")
+	}
+	if c.TrainIters < 1 {
+		return errors.New("baseline: need at least one training iteration")
+	}
+	if c.ScoreWindow < 1 {
+		return errors.New("baseline: score window must be positive")
+	}
+	return nil
+}
+
+// Detector is a trained likelihood-threshold detector.
+type Detector struct {
+	cfg       Config
+	model     *hmm.Model
+	centroids []vecmat.Vector
+	threshold float64
+	trainTime time.Duration
+}
+
+// Train quantises the attack-free training series, identifies the HMM with
+// Baum-Welch, and calibrates the anomaly threshold as the minimum per-symbol
+// training log-likelihood minus one nat of slack.
+func Train(series []vecmat.Vector, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(series) < cfg.Symbols || len(series) < 2*cfg.ScoreWindow {
+		return nil, fmt.Errorf("baseline: training series too short (%d points)", len(series))
+	}
+	start := time.Now()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centroids, err := cluster.KMeans(series, cfg.Symbols, rng, 100)
+	if err != nil {
+		return nil, fmt.Errorf("quantise: %w", err)
+	}
+	d := &Detector{cfg: cfg, centroids: centroids}
+	obs, err := d.Quantise(series)
+	if err != nil {
+		return nil, err
+	}
+
+	model, err := hmm.PerturbedUniformModel(cfg.HiddenStates, cfg.Symbols)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := model.BaumWelch(obs, cfg.TrainIters, 1e-5); err != nil {
+		return nil, fmt.Errorf("identify: %w", err)
+	}
+	d.model = model
+
+	d.threshold = cfg.Threshold
+	if d.threshold == 0 {
+		min := math.Inf(1)
+		for i := 0; i+cfg.ScoreWindow <= len(obs); i += cfg.ScoreWindow {
+			s, err := d.scoreObs(obs[i : i+cfg.ScoreWindow])
+			if err != nil {
+				return nil, err
+			}
+			min = math.Min(min, s)
+		}
+		d.threshold = min - 1
+	}
+	d.trainTime = time.Since(start)
+	return d, nil
+}
+
+// Quantise maps a series of attribute vectors onto symbol indices.
+func (d *Detector) Quantise(series []vecmat.Vector) ([]int, error) {
+	out := make([]int, len(series))
+	for i, p := range series {
+		best, bestDist := 0, math.Inf(1)
+		for c, cent := range d.centroids {
+			dist, err := p.Distance(cent)
+			if err != nil {
+				return nil, err
+			}
+			if dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// Score returns the per-symbol log-likelihood of the series under λ.
+func (d *Detector) Score(series []vecmat.Vector) (float64, error) {
+	obs, err := d.Quantise(series)
+	if err != nil {
+		return 0, err
+	}
+	return d.scoreObs(obs)
+}
+
+func (d *Detector) scoreObs(obs []int) (float64, error) {
+	ll, err := d.model.LogLikelihood(obs)
+	if err != nil {
+		return 0, err
+	}
+	return ll / float64(len(obs)), nil
+}
+
+// Threshold returns the calibrated anomaly threshold η.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// TrainingTime returns the wall-clock cost of identification.
+func (d *Detector) TrainingTime() time.Duration { return d.trainTime }
+
+// Detection is one scored window of the monitored series.
+type Detection struct {
+	// Index is the window ordinal in the monitored series.
+	Index int
+	// Score is the per-symbol log-likelihood.
+	Score float64
+	// Anomalous reports Score < η.
+	Anomalous bool
+}
+
+// Monitor slides the score window over the series and returns one Detection
+// per step. This is everything the baseline can say: no classification, no
+// culprit — the network-mean series has already erased which sensor
+// misbehaved.
+func (d *Detector) Monitor(series []vecmat.Vector) ([]Detection, error) {
+	w := d.cfg.ScoreWindow
+	if len(series) < w {
+		return nil, fmt.Errorf("baseline: series shorter than score window (%d < %d)", len(series), w)
+	}
+	obs, err := d.Quantise(series)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Detection, 0, len(obs)/w)
+	for i := 0; i+w <= len(obs); i += w {
+		s, err := d.scoreObs(obs[i : i+w])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Detection{
+			Index:     len(out),
+			Score:     s,
+			Anomalous: s < d.threshold,
+		})
+	}
+	return out, nil
+}

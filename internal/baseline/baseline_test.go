@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sensorguard/internal/env"
+	"sensorguard/internal/vecmat"
+)
+
+// gdiSeries samples the clean GDI environment at hourly resolution with
+// light noise, as the network-mean series the baseline would see.
+func gdiSeries(t *testing.T, hours int, seed int64) []vecmat.Vector {
+	t.Helper()
+	field, err := env.GDIProfile(seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vecmat.Vector, hours)
+	for h := range out {
+		v := field.At(time.Duration(h) * time.Hour)
+		out[h] = vecmat.Vector{v[0] + rng.NormFloat64()*0.2, v[1] + rng.NormFloat64()*0.4}
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no states", func(c *Config) { c.HiddenStates = 0 }},
+		{"one symbol", func(c *Config) { c.Symbols = 1 }},
+		{"no iters", func(c *Config) { c.TrainIters = 0 }},
+		{"no window", func(c *Config) { c.ScoreWindow = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestTrainRejectsShortSeries(t *testing.T) {
+	if _, err := Train(gdiSeries(t, 10, 1), DefaultConfig()); err == nil {
+		t.Error("short training series accepted")
+	}
+}
+
+func TestBaselineDetectsGrossCorruption(t *testing.T) {
+	train := gdiSeries(t, 24*10, 1)
+	det, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if det.TrainingTime() <= 0 {
+		t.Error("training time not recorded")
+	}
+
+	// Clean continuation: no (or almost no) anomalies.
+	clean := gdiSeries(t, 24*5, 1)
+	cleanDet, err := det.Monitor(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanAnoms := 0
+	for _, d := range cleanDet {
+		if d.Anomalous {
+			cleanAnoms++
+		}
+	}
+	if cleanAnoms > len(cleanDet)/5 {
+		t.Errorf("clean series flagged %d/%d windows", cleanAnoms, len(cleanDet))
+	}
+
+	// Corrupted continuation: the whole network mean pinned at a value
+	// the training dynamics never produce at night.
+	corrupt := gdiSeries(t, 24*5, 1)
+	for i := range corrupt {
+		corrupt[i] = vecmat.Vector{15, 1}
+	}
+	corruptDet, err := det.Monitor(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptAnoms := 0
+	for _, d := range corruptDet {
+		if d.Anomalous {
+			corruptAnoms++
+		}
+	}
+	if corruptAnoms < len(corruptDet)/2 {
+		t.Errorf("corrupt series flagged only %d/%d windows", corruptAnoms, len(corruptDet))
+	}
+}
+
+func TestBaselineMissesSingleSensorFault(t *testing.T) {
+	// The baseline sees only the network-mean series; a single corrupt
+	// sensor among ten shifts the mean by ~a tenth of the corruption —
+	// usually within the learned dynamics, so the fault passes unseen.
+	// (This is exactly why the paper's per-sensor tracks are needed.)
+	train := gdiSeries(t, 24*10, 1)
+	det, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := gdiSeries(t, 24*5, 1)
+	for i := range test {
+		// One of ten sensors stuck at (15,1): the mean moves 1/10 of
+		// the way toward it.
+		test[i] = vecmat.Vector{
+			test[i][0]*0.9 + 15*0.1,
+			test[i][1]*0.9 + 1*0.1,
+		}
+	}
+	dets, err := det.Monitor(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anoms := 0
+	for _, d := range dets {
+		if d.Anomalous {
+			anoms++
+		}
+	}
+	// Document rather than demand blindness: the shifted series must not
+	// be *reliably* flagged the way gross corruption is.
+	if anoms == len(dets) {
+		t.Errorf("single-sensor fault flagged in every window (%d/%d); expected partial blindness",
+			anoms, len(dets))
+	}
+}
+
+func TestScoreAndThreshold(t *testing.T) {
+	train := gdiSeries(t, 24*10, 3)
+	det, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := det.Score(train[:48])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Errorf("score = %v", s)
+	}
+	if det.Threshold() >= s {
+		t.Errorf("threshold %v not below training score %v", det.Threshold(), s)
+	}
+	if _, err := det.Monitor(train[:3]); err == nil {
+		t.Error("series shorter than window accepted")
+	}
+}
+
+func TestExplicitThresholdRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threshold = -123
+	det, err := Train(gdiSeries(t, 24*10, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Threshold() != -123 {
+		t.Errorf("threshold = %v, want explicit -123", det.Threshold())
+	}
+}

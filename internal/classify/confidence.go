@@ -1,0 +1,110 @@
+package classify
+
+import "math"
+
+// Confidence scoring: every diagnosis carries a score in [0,1] expressing
+// how far past its decision threshold the supporting evidence sits. A
+// diagnosis that barely cleared its threshold scores near 0; one with
+// saturated evidence scores near 1. Operators use it to prioritise
+// responses and to treat near-threshold diagnoses with suspicion.
+
+// margin maps evidence v against a decision threshold th and a saturation
+// point hi onto [0,1].
+func margin(v, th, hi float64) float64 {
+	if hi <= th {
+		return 0
+	}
+	c := (v - th) / (hi - th)
+	return math.Max(0, math.Min(1, c))
+}
+
+// networkConfidence scores a NetworkDiagnosis.
+func networkConfidence(d *NetworkDiagnosis, cfg Config) float64 {
+	switch d.Kind {
+	case KindDynamicDeletion:
+		// Strongest off-diagonal row dot; saturates near 0.8 (a full
+		// row emitting another's symbol).
+		best := 0.0
+		for _, v := range d.RowViolations {
+			if v.I != v.J && v.Dot > best {
+				best = v.Dot
+			}
+		}
+		return margin(best, cfg.NetRowOrtho.MaxOffDiag, 0.8)
+	case KindDynamicCreation:
+		// Strongest column dot; a clean 50/50 split caps at 0.25.
+		best := 0.0
+		for _, v := range d.ColViolations {
+			if v.Dot > best {
+				best = v.Dot
+			}
+		}
+		return margin(best, cfg.NetColOrtho.MaxOffDiag, 0.25)
+	case KindMixed:
+		rowBest, colBest := 0.0, 0.0
+		for _, v := range d.RowViolations {
+			if v.I != v.J && v.Dot > rowBest {
+				rowBest = v.Dot
+			}
+		}
+		for _, v := range d.ColViolations {
+			if v.Dot > colBest {
+				colBest = v.Dot
+			}
+		}
+		return math.Min(
+			margin(rowBest, cfg.NetRowOrtho.MaxOffDiag, 0.8),
+			margin(colBest, cfg.NetColOrtho.MaxOffDiag, 0.25),
+		)
+	case KindDynamicChange:
+		// Weakest association dominance past the injectivity bar.
+		worst := 1.0
+		for _, a := range d.Associations {
+			if a.Mass < worst {
+				worst = a.Mass
+			}
+		}
+		return margin(worst, cfg.ChangeMinDominance, 1)
+	case KindNone:
+		// Distance of the strongest near-violation from its threshold:
+		// clean runs score near 1.
+		worstRatio := 0.0
+		for _, v := range d.RowViolations {
+			if v.I != v.J {
+				worstRatio = math.Max(worstRatio, v.Dot/cfg.NetRowOrtho.MaxOffDiag)
+			}
+		}
+		for _, v := range d.ColViolations {
+			worstRatio = math.Max(worstRatio, v.Dot/cfg.NetColOrtho.MaxOffDiag)
+		}
+		return math.Max(0, math.Min(1, 1-worstRatio))
+	default:
+		return 0
+	}
+}
+
+// sensorConfidence scores a SensorDiagnosis. stuckMinMass is the smallest
+// per-row dominant mass supporting a stuck-at verdict (0 otherwise).
+func sensorConfidence(d *SensorDiagnosis, stuckMinMass float64, cfg Config) float64 {
+	switch d.Kind {
+	case KindStuckAt:
+		return margin(stuckMinMass, cfg.StuckDominance, 1)
+	case KindCalibration:
+		return margin(cfg.ConstSpreadMax-d.Ratio.worst(), 0, cfg.ConstSpreadMax)
+	case KindAdditive:
+		return margin(cfg.ConstSpreadMax-d.Diff.worst(), 0, cfg.ConstSpreadMax)
+	case KindRandomNoise:
+		// Saturates at 3× the noise threshold.
+		return margin(d.MaxStd, cfg.ErrStdMax, 3*cfg.ErrStdMax)
+	case KindDynamicChange:
+		worst := 1.0
+		for _, a := range d.Associations {
+			if a.Mass < worst {
+				worst = a.Mass
+			}
+		}
+		return margin(worst, cfg.ChangeMinDominance, 1)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,154 @@
+package classify
+
+import (
+	"testing"
+
+	"sensorguard/internal/track"
+	"sensorguard/internal/vecmat"
+)
+
+func TestNetworkConfidenceDeletion(t *testing.T) {
+	// A saturated deletion (full row emitting another's symbol) scores
+	// high; no-anomaly scores high for None.
+	s := snap([]int{6, 7, 0}, []int{6, 7, 0}, []vecmat.Vector{
+		{0.001, 0.999, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+	}, nil)
+	d, err := Network(s, gdiStates(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindDynamicDeletion {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	if d.Confidence < 0.9 {
+		t.Errorf("saturated deletion confidence = %v, want near 1", d.Confidence)
+	}
+}
+
+func TestNetworkConfidenceCleanRun(t *testing.T) {
+	s := snap([]int{0, 1, 2, 3}, []int{0, 1, 2, 3}, []vecmat.Vector{
+		{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1},
+	}, nil)
+	d, err := Network(s, gdiStates(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindNone || d.Confidence < 0.99 {
+		t.Errorf("clean run: kind=%v confidence=%v, want none/1", d.Kind, d.Confidence)
+	}
+}
+
+func TestNetworkConfidenceMarginalCreation(t *testing.T) {
+	// A split just past the column threshold scores low.
+	s := snap([]int{0, 1}, []int{0, 1, 8}, []vecmat.Vector{
+		{0.87, 0, 0.13}, // col dot 0.87*0.13 = 0.113, barely over 0.1
+		{0, 1, 0},
+	}, nil)
+	d, err := Network(s, gdiStates(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindDynamicCreation {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	if d.Confidence > 0.3 {
+		t.Errorf("marginal creation confidence = %v, want low", d.Confidence)
+	}
+
+	// A strong 50/50 split scores much higher.
+	s2 := snap([]int{0, 1}, []int{0, 1, 8}, []vecmat.Vector{
+		{0.5, 0, 0.5},
+		{0, 1, 0},
+	}, nil)
+	d2, err := Network(s2, gdiStates(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Confidence <= d.Confidence {
+		t.Errorf("strong split confidence %v not above marginal %v", d2.Confidence, d.Confidence)
+	}
+}
+
+func TestSensorConfidenceStuckAt(t *testing.T) {
+	clean := snap([]int{0, 1}, []int{4, track.Bottom}, []vecmat.Vector{
+		{1, 0},
+		{1, 0},
+	}, nil)
+	d, err := Sensor(6, clean, gdiStates(), nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindStuckAt || d.Confidence < 0.95 {
+		t.Errorf("clean stuck: kind=%v confidence=%v", d.Kind, d.Confidence)
+	}
+
+	weak := snap([]int{0, 1}, []int{4, 5, track.Bottom}, []vecmat.Vector{
+		{0.55, 0.45, 0},
+		{0.9, 0.1, 0},
+	}, nil)
+	dw, err := Sensor(6, weak, gdiStates(), nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.Kind == KindStuckAt && dw.Confidence >= d.Confidence {
+		t.Errorf("weak stuck confidence %v not below clean %v", dw.Confidence, d.Confidence)
+	}
+}
+
+func TestSensorConfidenceCalibration(t *testing.T) {
+	states := gdiStates()
+	s := snap([]int{0, 1, 2, 3}, []int{10, 11, 12, 13, track.Bottom}, []vecmat.Vector{
+		{0.9, 0, 0, 0, 0.1},
+		{0, 0.9, 0, 0, 0.1},
+		{0, 0, 0.9, 0, 0.1},
+		{0, 0, 0, 0.9, 0.1},
+	}, nil)
+	profile := scaledProfile(states, []int{0, 1, 2, 3}, func(v vecmat.Vector) vecmat.Vector {
+		return vecmat.Vector{v[0] / 1.24, v[1] / 1.16}
+	}, 0.5, 20)
+	d, err := Sensor(7, s, states, profile, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindCalibration {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	if d.Confidence < 0.8 {
+		t.Errorf("exact calibration confidence = %v, want high", d.Confidence)
+	}
+}
+
+func TestSensorConfidenceRandomNoise(t *testing.T) {
+	states := gdiStates()
+	s := snap([]int{0, 1}, []int{0, 1, track.Bottom}, []vecmat.Vector{
+		{0.5, 0.4, 0.1},
+		{0.4, 0.5, 0.1},
+	}, nil)
+	profile := scaledProfile(states, []int{0, 1}, func(v vecmat.Vector) vecmat.Vector {
+		return v.Clone()
+	}, 12, 30)
+	d, err := Sensor(2, s, states, profile, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindRandomNoise {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	if d.Confidence <= 0 {
+		t.Errorf("noise confidence = %v, want positive", d.Confidence)
+	}
+}
+
+func TestMarginClamps(t *testing.T) {
+	if margin(2, 0, 1) != 1 {
+		t.Error("margin not clamped to 1")
+	}
+	if margin(-1, 0, 1) != 0 {
+		t.Error("margin not clamped to 0")
+	}
+	if margin(1, 1, 1) != 0 {
+		t.Error("degenerate margin not 0")
+	}
+}

@@ -1,0 +1,389 @@
+// Package cluster implements the paper's Model State Identification module
+// (§3.1): an on-line statistical clustering algorithm that maintains the set
+// of model states S = {s_1..s_M} describing the physical conditions
+// traversed by the environment and by error/attack data.
+//
+// States carry stable integer IDs so that the HMM and Markov-chain modules
+// can keep their matrices aligned with the evolving state set: the clusterer
+// reports every structural change (spawn or merge) as an Event that
+// downstream estimators replay onto their own data structures.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sensorguard/internal/vecmat"
+)
+
+// State is one model state: a centroid in attribute space with a stable ID.
+type State struct {
+	// ID is stable for the lifetime of the state and never reused.
+	ID int
+	// Centroid is the state's current position (Eq. 6 EWMA of the
+	// observations mapped to it).
+	Centroid vecmat.Vector
+	// Weight counts how many observations have ever been mapped to the
+	// state; the classifier uses it to suppress spurious states.
+	Weight float64
+}
+
+// EventKind distinguishes structural changes to the state set.
+type EventKind int
+
+// Structural event kinds.
+const (
+	// EventSpawn reports a newly created state.
+	EventSpawn EventKind = iota + 1
+	// EventMerge reports that state From was folded into state Into.
+	EventMerge
+)
+
+// Event describes one structural change to the state set. Downstream
+// estimators must apply events in order.
+type Event struct {
+	Kind EventKind
+	// ID is the spawned state for EventSpawn.
+	ID int
+	// Into and From identify the surviving and absorbed states for
+	// EventMerge.
+	Into, From int
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventSpawn:
+		return fmt.Sprintf("spawn(%d)", e.ID)
+	case EventMerge:
+		return fmt.Sprintf("merge(%d<-%d)", e.Into, e.From)
+	default:
+		return "event(?)"
+	}
+}
+
+// Config parameterises the clusterer.
+type Config struct {
+	// Alpha is the learning factor of the centroid update (Eq. 6),
+	// in (0,1). The paper's evaluation uses 0.10.
+	Alpha float64
+	// MergeDistance: two states closer than this merge into one.
+	MergeDistance float64
+	// SpawnDistance: an observation farther than this from every state
+	// spawns a new state at the observation.
+	SpawnDistance float64
+	// CaptureDistance: an observation farther than this from its nearest
+	// state (but within SpawnDistance) is treated as ambiguous — it
+	// neither updates the state (Eq. 6) nor spawns a new one. Without
+	// this annulus, a gradual trajectory between two dwell points drags
+	// a single state along the path and fuses structure that should stay
+	// separate. Zero disables the annulus (capture = spawn).
+	CaptureDistance float64
+	// MaxStates caps the state count; when reached, no states spawn.
+	// Zero means no cap.
+	MaxStates int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("cluster: alpha %v outside (0,1)", c.Alpha)
+	}
+	if c.MergeDistance < 0 || c.SpawnDistance <= 0 {
+		return errors.New("cluster: distances must be positive")
+	}
+	if c.MergeDistance >= c.SpawnDistance {
+		return errors.New("cluster: merge distance must be below spawn distance")
+	}
+	if c.CaptureDistance != 0 && (c.CaptureDistance <= c.MergeDistance || c.CaptureDistance > c.SpawnDistance) {
+		return errors.New("cluster: capture distance must lie in (merge, spawn]")
+	}
+	if c.MaxStates < 0 {
+		return errors.New("cluster: MaxStates must be non-negative")
+	}
+	return nil
+}
+
+// Set is the evolving set of model states. It is not safe for concurrent
+// use; the detector drives it from a single goroutine.
+type Set struct {
+	cfg     Config
+	dim     int
+	states  []State
+	nextID  int
+	adapts  int
+	pending []pendingSpawn
+}
+
+// pendingSpawn is a far observation waiting for confirmation: a new state
+// spawns only when a second far observation lands within MergeDistance of a
+// pending one in a *later* window. One-off outliers (e.g. malformed packets)
+// never repeat at the same spot and therefore never pollute the state set,
+// while genuine fault/attack dwells confirm within a window or two.
+type pendingSpawn struct {
+	point vecmat.Vector
+	adapt int // Adapt-call ordinal at which the point was seen
+}
+
+// pendingTTL is how many Adapt calls a pending spawn survives unconfirmed.
+const pendingTTL = 12
+
+// New builds a state set seeded with the given initial centroids (the paper
+// seeds with either random states or an offline clustering of historical
+// data — see KMeans). dim is the attribute dimensionality.
+func New(cfg Config, dim int, initial []vecmat.Vector) (*Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, errors.New("cluster: dimension must be positive")
+	}
+	s := &Set{cfg: cfg, dim: dim}
+	for _, c := range initial {
+		if len(c) != dim {
+			return nil, fmt.Errorf("cluster: initial centroid %v has dimension %d, want %d", c, len(c), dim)
+		}
+		s.states = append(s.states, State{ID: s.nextID, Centroid: c.Clone()})
+		s.nextID++
+	}
+	return s, nil
+}
+
+// Len returns the current number of states.
+func (s *Set) Len() int { return len(s.states) }
+
+// Dim returns the attribute dimensionality.
+func (s *Set) Dim() int { return s.dim }
+
+// States returns a copy of the current states, ordered by ID.
+func (s *Set) States() []State {
+	out := make([]State, len(s.states))
+	for i, st := range s.states {
+		out[i] = State{ID: st.ID, Centroid: st.Centroid.Clone(), Weight: st.Weight}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the state with the given ID.
+func (s *Set) ByID(id int) (State, bool) {
+	for _, st := range s.states {
+		if st.ID == id {
+			return State{ID: st.ID, Centroid: st.Centroid.Clone(), Weight: st.Weight}, true
+		}
+	}
+	return State{}, false
+}
+
+// Nearest returns the ID of the state closest to p and the distance to it
+// (Eqs. 2 and 3). It returns an error when the set is empty or p has the
+// wrong dimension.
+func (s *Set) Nearest(p vecmat.Vector) (id int, dist float64, err error) {
+	if len(s.states) == 0 {
+		return 0, 0, errors.New("cluster: empty state set")
+	}
+	best, bestDist := -1, 0.0
+	for i := range s.states {
+		d, derr := s.states[i].Centroid.Distance(p)
+		if derr != nil {
+			return 0, 0, derr
+		}
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return s.states[best].ID, bestDist, nil
+}
+
+// Assign maps each observation to its nearest state (Eq. 3), returning one
+// state ID per observation.
+func (s *Set) Assign(points []vecmat.Vector) ([]int, error) {
+	out := make([]int, len(points))
+	for i, p := range points {
+		id, _, err := s.Nearest(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// Adapt performs the end-of-window update. Spawn checks run first, against
+// the *pre-update* state set: an observation too far from every existing
+// state (and, when meanPoint is non-nil, the window mean — see DESIGN.md §2)
+// becomes a new state rather than being absorbed into — and dragging — an
+// unrelated one. Observations are then re-assigned against the post-spawn
+// set and the Eq. (5)–(6) centroid adaptation runs, followed by merge
+// checks. It returns the structural events in the order they must be
+// applied downstream.
+func (s *Set) Adapt(points []vecmat.Vector, meanPoint vecmat.Vector) ([]Event, error) {
+	var events []Event
+
+	// Spawn pass: a far point spawns a state only when it confirms a
+	// pending far point from an earlier window; otherwise it becomes
+	// pending itself. Later far points in the same window see earlier
+	// spawns, so a cluster of far points yields one state, not one per
+	// point.
+	s.adapts++
+	candidates := points
+	if meanPoint != nil {
+		candidates = append(append(make([]vecmat.Vector, 0, len(points)+1), points...), meanPoint)
+	}
+	for _, p := range candidates {
+		if s.cfg.MaxStates > 0 && len(s.states) >= s.cfg.MaxStates {
+			break
+		}
+		_, d, err := s.Nearest(p)
+		if err != nil {
+			return nil, err
+		}
+		if d <= s.cfg.SpawnDistance {
+			continue
+		}
+		if i := s.confirmPending(p); i >= 0 {
+			mid, merr := vecmat.Mean([]vecmat.Vector{p, s.pending[i].point})
+			if merr != nil {
+				return nil, merr
+			}
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			id := s.spawn(mid)
+			events = append(events, Event{Kind: EventSpawn, ID: id})
+		} else {
+			s.pending = append(s.pending, pendingSpawn{point: p.Clone(), adapt: s.adapts})
+		}
+	}
+	s.expirePending()
+
+	// Eq. (5): group observations per (post-spawn) state; Eq. (6): EWMA
+	// update. Points outside the capture annulus are ambiguous and do
+	// not contribute.
+	capture := s.cfg.CaptureDistance
+	if capture == 0 {
+		capture = s.cfg.SpawnDistance
+	}
+	sums := make(map[int]vecmat.Vector, len(s.states))
+	counts := make(map[int]int, len(s.states))
+	for _, p := range points {
+		id, dist, err := s.Nearest(p)
+		if err != nil {
+			return nil, err
+		}
+		if dist > capture {
+			continue
+		}
+		if sums[id] == nil {
+			sums[id] = vecmat.NewVector(s.dim)
+		}
+		if err := sums[id].AddInPlace(p); err != nil {
+			return nil, err
+		}
+		counts[id]++
+	}
+	for i := range s.states {
+		st := &s.states[i]
+		n := counts[st.ID]
+		if n == 0 {
+			continue
+		}
+		mean := sums[st.ID].Scale(1 / float64(n))
+		for d := 0; d < s.dim; d++ {
+			st.Centroid[d] = (1-s.cfg.Alpha)*st.Centroid[d] + s.cfg.Alpha*mean[d]
+		}
+		st.Weight += float64(n)
+	}
+
+	// Merge: fold together states that drifted too close. The heavier
+	// state survives so that long-lived structure keeps its identity.
+	events = append(events, s.mergeClose()...)
+	return events, nil
+}
+
+// confirmPending returns the index of a pending spawn from an earlier
+// window within the confirmation radius of p, or -1. Confirmation uses the
+// capture distance (falling back to merge distance) so a recurring dwell
+// confirms even with window-to-window jitter.
+func (s *Set) confirmPending(p vecmat.Vector) int {
+	radius := s.cfg.CaptureDistance
+	if radius == 0 {
+		radius = s.cfg.MergeDistance
+	}
+	for i, pd := range s.pending {
+		if pd.adapt == s.adapts {
+			continue // same window: not independent confirmation
+		}
+		d, err := pd.point.Distance(p)
+		if err == nil && d <= radius {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Set) expirePending() {
+	kept := s.pending[:0]
+	for _, pd := range s.pending {
+		if s.adapts-pd.adapt < pendingTTL {
+			kept = append(kept, pd)
+		}
+	}
+	s.pending = kept
+}
+
+func (s *Set) spawn(p vecmat.Vector) int {
+	id := s.nextID
+	s.nextID++
+	s.states = append(s.states, State{ID: id, Centroid: p.Clone(), Weight: 1})
+	return id
+}
+
+func (s *Set) mergeClose() []Event {
+	var events []Event
+	for {
+		merged := false
+		for i := 0; i < len(s.states) && !merged; i++ {
+			for j := i + 1; j < len(s.states) && !merged; j++ {
+				d, err := s.states[i].Centroid.Distance(s.states[j].Centroid)
+				if err != nil || d > s.cfg.MergeDistance {
+					continue
+				}
+				into, from := i, j
+				if s.states[from].Weight > s.states[into].Weight {
+					into, from = from, into
+				}
+				events = append(events, s.merge(into, from))
+				merged = true
+			}
+		}
+		if !merged {
+			return events
+		}
+	}
+}
+
+// merge folds state index from into state index into: the surviving centroid
+// is the weight-weighted average and the weights add.
+func (s *Set) merge(into, from int) Event {
+	a, b := &s.states[into], &s.states[from]
+	total := a.Weight + b.Weight
+	if total > 0 {
+		for d := 0; d < s.dim; d++ {
+			a.Centroid[d] = (a.Centroid[d]*a.Weight + b.Centroid[d]*b.Weight) / total
+		}
+	}
+	a.Weight = total
+	ev := Event{Kind: EventMerge, Into: a.ID, From: b.ID}
+	s.states = append(s.states[:from], s.states[from+1:]...)
+	return ev
+}
+
+// TotalWeight returns the sum of all state weights (total observations
+// absorbed so far).
+func (s *Set) TotalWeight() float64 {
+	var t float64
+	for _, st := range s.states {
+		t += st.Weight
+	}
+	return t
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sensorguard/internal/vecmat"
+)
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding over the given
+// points and returns k centroids. The paper seeds the on-line clusterer with
+// the output of an offline clustering pass over historical data (§4.1); this
+// is that pass.
+//
+// rng drives the (deterministic, seeded) initialisation. maxIter bounds the
+// Lloyd iterations; the algorithm also stops early on convergence.
+func KMeans(points []vecmat.Vector, k int, rng *rand.Rand, maxIter int) ([]vecmat.Vector, error) {
+	switch {
+	case k <= 0:
+		return nil, errors.New("cluster: k must be positive")
+	case len(points) < k:
+		return nil, fmt.Errorf("cluster: %d points cannot seed %d clusters", len(points), k)
+	case rng == nil:
+		return nil, errors.New("cluster: nil rng")
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: ragged point %v: %w", p, vecmat.ErrDimensionMismatch)
+		}
+	}
+
+	centroids, err := seedPlusPlus(points, k, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	assign := make([]int, len(points))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestDist := 0, math.Inf(1)
+			for c, cent := range centroids {
+				d, derr := p.Distance(cent)
+				if derr != nil {
+					return nil, derr
+				}
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i], changed = best, true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		sums := make([]vecmat.Vector, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = vecmat.NewVector(dim)
+		}
+		for i, p := range points {
+			if err := sums[assign[i]].AddInPlace(p); err != nil {
+				return nil, err
+			}
+			counts[assign[i]]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centroids[c] = points[rng.Intn(len(points))].Clone()
+				continue
+			}
+			centroids[c] = sums[c].Scale(1 / float64(counts[c]))
+		}
+	}
+	return centroids, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ rule: each next
+// seed is sampled with probability proportional to its squared distance from
+// the nearest existing seed.
+func seedPlusPlus(points []vecmat.Vector, k int, rng *rand.Rand) ([]vecmat.Vector, error) {
+	centroids := make([]vecmat.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				d, err := p.Distance(c)
+				if err != nil {
+					return nil, err
+				}
+				if dd := d * d; dd < best {
+					best = dd
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with existing seeds; duplicate one.
+			centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := len(points) - 1
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, points[pick].Clone())
+	}
+	return centroids, nil
+}
+
+// RandomStates returns k random centroids drawn uniformly inside the
+// per-dimension [lo, hi] box — the paper's alternative initialisation
+// (footnote 5: the methodology "worked equally well" with random states).
+func RandomStates(k, dim int, lo, hi float64, rng *rand.Rand) ([]vecmat.Vector, error) {
+	if k <= 0 || dim <= 0 {
+		return nil, errors.New("cluster: k and dim must be positive")
+	}
+	if rng == nil {
+		return nil, errors.New("cluster: nil rng")
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("cluster: empty range [%v,%v]", lo, hi)
+	}
+	out := make([]vecmat.Vector, k)
+	for i := range out {
+		v := vecmat.NewVector(dim)
+		for d := range v {
+			v[d] = lo + rng.Float64()*(hi-lo)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

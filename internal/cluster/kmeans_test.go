@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sensorguard/internal/vecmat"
+)
+
+// blob generates n points around center with the given spread.
+func blob(rng *rand.Rand, center vecmat.Vector, spread float64, n int) []vecmat.Vector {
+	out := make([]vecmat.Vector, n)
+	for i := range out {
+		p := vecmat.NewVector(len(center))
+		for d := range p {
+			p[d] = center[d] + rng.NormFloat64()*spread
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := []vecmat.Vector{{12, 94}, {17, 84}, {24, 70}, {31, 56}}
+	var points []vecmat.Vector
+	for _, c := range centers {
+		points = append(points, blob(rng, c, 0.5, 100)...)
+	}
+	got, err := KMeans(points, len(centers), rng, 100)
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	if len(got) != len(centers) {
+		t.Fatalf("got %d centroids, want %d", len(got), len(centers))
+	}
+	// Each true center must have a recovered centroid within 1 unit.
+	for _, c := range centers {
+		best := math.Inf(1)
+		for _, g := range got {
+			d, _ := c.Distance(g)
+			best = math.Min(best, d)
+		}
+		if best > 1 {
+			t.Errorf("no centroid near %v (closest at distance %v)", c, best)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := []vecmat.Vector{{1}, {2}}
+	if _, err := KMeans(pts, 0, rng, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(pts, 3, rng, 10); err == nil {
+		t.Error("k > len(points) accepted")
+	}
+	if _, err := KMeans(pts, 1, nil, 10); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := KMeans([]vecmat.Vector{{1}, {1, 2}}, 1, rng, 10); err == nil {
+		t.Error("ragged points accepted")
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	centers := []vecmat.Vector{{0, 0}, {50, 50}}
+	mk := func(seed int64) []vecmat.Vector {
+		rng := rand.New(rand.NewSource(seed))
+		var points []vecmat.Vector
+		for _, c := range centers {
+			points = append(points, blob(rng, c, 1, 50)...)
+		}
+		got, err := KMeans(points, 2, rng, 50)
+		if err != nil {
+			t.Fatalf("KMeans: %v", err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i][0] < got[j][0] })
+		return got
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if !a[i].Equal(b[i], 1e-12) {
+			t.Errorf("same seed produced different centroids: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := []vecmat.Vector{{5, 5}, {5, 5}, {5, 5}}
+	got, err := KMeans(pts, 2, rng, 10)
+	if err != nil {
+		t.Fatalf("KMeans on identical points: %v", err)
+	}
+	for _, g := range got {
+		if !g.Equal(vecmat.Vector{5, 5}, 1e-9) {
+			t.Errorf("centroid = %v, want (5,5)", g)
+		}
+	}
+}
+
+func TestRandomStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	got, err := RandomStates(6, 2, 0, 100, rng)
+	if err != nil {
+		t.Fatalf("RandomStates: %v", err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("got %d states, want 6", len(got))
+	}
+	for _, v := range got {
+		if len(v) != 2 {
+			t.Fatalf("state dim = %d, want 2", len(v))
+		}
+		for _, x := range v {
+			if x < 0 || x > 100 {
+				t.Errorf("state component %v outside [0,100]", x)
+			}
+		}
+	}
+
+	if _, err := RandomStates(0, 2, 0, 1, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RandomStates(1, 2, 5, 1, rng); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := RandomStates(1, 2, 0, 1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

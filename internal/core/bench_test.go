@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"sensorguard/internal/vecmat"
+)
+
+// BenchmarkStep measures single-window pipeline latency — the quantity that
+// determines how large a deployment one collector can serve. One window of
+// 10 sensors × 12 samples.
+func BenchmarkStep(b *testing.B) {
+	d, err := NewDetector(DefaultConfig(keyStates()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := keyStates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := uniformWindow(i, 10, points[i%4])
+		if _, err := d.Step(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepWithTrackedSensor adds an alarming outlier so the alarm,
+// track, M_CE, and profile paths are all exercised.
+func BenchmarkStepWithTrackedSensor(b *testing.B) {
+	d, err := NewDetector(DefaultConfig(keyStates()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bySensor := make([]vecmat.Vector, 10)
+		for s := 0; s < 9; s++ {
+			bySensor[s] = keyStates()[i%4]
+		}
+		bySensor[9] = vecmat.Vector{45, 20}
+		if _, err := d.Step(window(i, bySensor)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReport measures the full structural classification.
+func BenchmarkReport(b *testing.B) {
+	d, err := NewDetector(DefaultConfig(keyStates()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		bySensor := make([]vecmat.Vector, 10)
+		for s := 0; s < 9; s++ {
+			bySensor[s] = keyStates()[i%4]
+		}
+		bySensor[9] = vecmat.Vector{45, 20}
+		if _, err := d.Step(window(i, bySensor)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Report(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

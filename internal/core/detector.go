@@ -1,0 +1,533 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sensorguard/internal/alarm"
+	"sensorguard/internal/classify"
+	"sensorguard/internal/cluster"
+	"sensorguard/internal/hmm"
+	"sensorguard/internal/markov"
+	"sensorguard/internal/network"
+	"sensorguard/internal/sensor"
+	runstats "sensorguard/internal/stats"
+	"sensorguard/internal/track"
+	"sensorguard/internal/vecmat"
+)
+
+// Detector is the collector-side analysis procedure of Fig. 1. It is not
+// safe for concurrent use: a deployment has a single collector driving it.
+type Detector struct {
+	cfg Config
+
+	states *cluster.Set
+	mco    *hmm.Online
+	mce    map[int]*hmm.Online
+	mc     *markov.Chain
+	mo     *markov.Chain
+
+	filter alarm.Filter
+	stats  *alarm.Stats
+	tracks *track.Manager
+
+	quarantined map[int]bool
+	seen        map[int]bool
+
+	// profiles accumulate, per tracked sensor and hidden state, the
+	// per-attribute statistics of the sensor's own readings while it was
+	// alarming — the empirical error-state attributes the classifier's
+	// ratio/difference test runs on.
+	profiles map[int]map[int][]runstats.Running
+
+	steps   int
+	skipped int
+}
+
+// SensorStep is the per-sensor outcome of one window.
+type SensorStep struct {
+	// Mapped is the model state the sensor's observation mapped to (l_j).
+	Mapped int
+	// Raw and Filtered are the alarm levels this window.
+	Raw, Filtered bool
+	// TrackOpen reports whether an error/attack track is open after this
+	// window.
+	TrackOpen bool
+	// Symbol is the error/attack symbol recorded on the sensor's track
+	// (track.Bottom when agreeing); meaningful only when Recorded.
+	Symbol   int
+	Recorded bool
+}
+
+// StepResult is the outcome of one observation window.
+type StepResult struct {
+	// Index is the window ordinal.
+	Index int
+	// Skipped reports that the window had too few sensors and was
+	// ignored.
+	Skipped bool
+	// Observable and Correct are o_i and c_i (model-state IDs).
+	Observable, Correct int
+	// Sensors holds the per-sensor outcomes, keyed by sensor ID.
+	Sensors map[int]SensorStep
+	// Events are the structural model-state changes after this window.
+	Events []cluster.Event
+}
+
+// NewDetector builds a detector from the configuration.
+func NewDetector(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	set, err := cluster.New(cluster.Config{
+		Alpha:           cfg.Alpha,
+		MergeDistance:   cfg.MergeDistance,
+		SpawnDistance:   cfg.SpawnDistance,
+		CaptureDistance: cfg.CaptureDistance,
+		MaxStates:       cfg.MaxStates,
+	}, cfg.Dim, cfg.InitialStates)
+	if err != nil {
+		return nil, err
+	}
+	mco, err := hmm.NewOnline(cfg.Beta, cfg.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := markov.NewChain(cfg.Beta)
+	if err != nil {
+		return nil, err
+	}
+	mo, err := markov.NewChain(cfg.Beta)
+	if err != nil {
+		return nil, err
+	}
+	var filter alarm.Filter
+	if cfg.FilterFactory != nil {
+		filter, err = cfg.FilterFactory()
+	} else {
+		filter, err = alarm.NewKOfN(cfg.FilterK, cfg.FilterN)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:         cfg,
+		states:      set,
+		mco:         mco,
+		mce:         make(map[int]*hmm.Online),
+		mc:          mc,
+		mo:          mo,
+		filter:      filter,
+		stats:       alarm.NewStats(),
+		tracks:      track.NewManager(),
+		quarantined: make(map[int]bool),
+		seen:        make(map[int]bool),
+		profiles:    make(map[int]map[int][]runstats.Running),
+	}, nil
+}
+
+// Step folds in one observation window.
+func (d *Detector) Step(w network.Window) (StepResult, error) {
+	res := StepResult{Index: w.Index, Sensors: make(map[int]SensorStep)}
+
+	// Per-sensor window means are the observations p_j of Eq. (2)-(4).
+	ids, points, err := d.sensorMeans(w.Readings)
+	if err != nil {
+		return res, err
+	}
+	if len(ids) < d.cfg.MinSensors {
+		res.Skipped = true
+		d.skipped++
+		return res, nil
+	}
+	for _, id := range ids {
+		d.seen[id] = true
+	}
+	d.refreshQuarantine(w.Index)
+
+	// Eq. (2) averages over *all* observations in the window, not over
+	// per-sensor means: a sensor's influence on the observable state is
+	// proportional to the traffic it actually delivers (a dying, thinning
+	// sensor fades from the network view). Quarantined sensors — already
+	// diagnosed as erroneous — are excluded from the network view.
+	values := make([]vecmat.Vector, 0, len(w.Readings))
+	for _, r := range w.Readings {
+		if d.quarantined[r.Sensor] {
+			continue
+		}
+		values = append(values, r.Values)
+	}
+	if len(values) == 0 {
+		for _, r := range w.Readings {
+			values = append(values, r.Values)
+		}
+	}
+	overall, err := vecmat.Mean(values)
+	if err != nil {
+		return res, err
+	}
+	observable, distO, err := d.states.Nearest(overall) // Eq. (2)
+	if err != nil {
+		return res, err
+	}
+	mapped, err := d.states.Assign(points) // Eq. (3)
+	if err != nil {
+		return res, err
+	}
+	correct := majorityState(mapped) // Eq. (4)
+
+	// Boundary deadband: when the overall mean sits essentially at a tie
+	// between the correct state and another, Eq. (2)'s argmin is decided
+	// by measurement noise, not by the environment. Snap such ambiguous
+	// observables onto the correct state so transition windows do not
+	// fabricate anomaly structure in M_CO (genuine attacks displace the
+	// mean far beyond the deadband).
+	if observable != correct && d.cfg.SnapDeadband > 0 {
+		if cState, ok := d.states.ByID(correct); ok {
+			if dc, derr := cState.Centroid.Distance(overall); derr == nil && dc-distO < d.cfg.SnapDeadband {
+				observable = correct
+			}
+		}
+	}
+
+	res.Observable, res.Correct = observable, correct
+
+	// Alarm generation, filtering, and track management per sensor.
+	for i, id := range ids {
+		raw := mapped[i] != correct
+		filtered := d.filter.Observe(id, raw)
+		d.stats.Record(id, raw, filtered)
+
+		_, symbol, recorded := d.tracks.Observe(w.Index, id, filtered, mapped[i], correct)
+		step := SensorStep{
+			Mapped:   mapped[i],
+			Raw:      raw,
+			Filtered: filtered,
+			Symbol:   symbol,
+			Recorded: recorded,
+		}
+		if _, open := d.tracks.Active(id); open {
+			step.TrackOpen = true
+		}
+		if recorded {
+			est, err := d.ce(id)
+			if err != nil {
+				return res, err
+			}
+			est.Observe(correct, symbol)
+			if symbol != track.Bottom {
+				d.recordProfile(id, correct, points[i])
+			}
+		}
+		res.Sensors[id] = step
+	}
+
+	// Environment models.
+	d.mco.Observe(correct, observable)
+	d.mc.Observe(correct)
+	d.mo.Observe(observable)
+
+	// Model-state adaptation (Eqs. 5-6 + merge/spawn), with structural
+	// events replayed onto every estimator.
+	events, err := d.states.Adapt(points, overall)
+	if err != nil {
+		return res, err
+	}
+	for _, ev := range events {
+		if ev.Kind != cluster.EventMerge {
+			continue
+		}
+		if err := d.applyMerge(ev.Into, ev.From); err != nil {
+			return res, err
+		}
+	}
+	res.Events = events
+	d.steps++
+	return res, nil
+}
+
+// refreshQuarantine re-derives the quarantine set: sensors whose track has
+// been open for at least QuarantineAfter windows and whose M_CE diagnoses an
+// accidental error — unless the same diagnosis is shared by more than
+// QuarantineCoordinated of the sensors, which indicates a coordinated attack
+// that must remain visible in B^CO. The set is rebuilt each window, so a
+// closing track lifts the quarantine automatically.
+func (d *Detector) refreshQuarantine(window int) {
+	if d.cfg.QuarantineAfter <= 0 {
+		return
+	}
+	kinds := make(map[int]classify.Kind)
+	var attrs map[int]vecmat.Vector
+	for _, tr := range d.tracks.ActiveTracks() {
+		if window-tr.Opened < d.cfg.QuarantineAfter {
+			continue
+		}
+		snap, ok := d.ModelCE(tr.Sensor)
+		if !ok {
+			continue
+		}
+		if attrs == nil {
+			attrs = d.StateAttributes()
+		}
+		diag, err := classify.Sensor(tr.Sensor, snap, attrs, d.ErrorProfile(tr.Sensor), d.cfg.Classify)
+		if err != nil {
+			continue
+		}
+		if diag.Kind.IsError() {
+			kinds[tr.Sensor] = diag.Kind
+		}
+	}
+	counts := make(map[classify.Kind]int)
+	for _, k := range kinds {
+		counts[k]++
+	}
+	next := make(map[int]bool, len(kinds))
+	for id, k := range kinds {
+		if len(d.seen) > 0 &&
+			float64(counts[k])/float64(len(d.seen)) > d.cfg.QuarantineCoordinated {
+			continue
+		}
+		next[id] = true
+	}
+	d.quarantined = next
+}
+
+// Quarantined returns the sensors currently excluded from the observable
+// estimate, in ascending order.
+func (d *Detector) Quarantined() []int {
+	out := make([]int, 0, len(d.quarantined))
+	for id := range d.quarantined {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// recordProfile folds one alarming window's reading into the sensor's
+// per-hidden-state statistics.
+func (d *Detector) recordProfile(sensorID, hidden int, value vecmat.Vector) {
+	bySensor, ok := d.profiles[sensorID]
+	if !ok {
+		bySensor = make(map[int][]runstats.Running)
+		d.profiles[sensorID] = bySensor
+	}
+	rs, ok := bySensor[hidden]
+	if !ok {
+		rs = make([]runstats.Running, d.cfg.Dim)
+		bySensor[hidden] = rs
+	}
+	for i := 0; i < d.cfg.Dim && i < len(value); i++ {
+		rs[i].Add(value[i])
+	}
+}
+
+// ErrorProfile returns a sensor's empirical per-hidden-state statistics.
+func (d *Detector) ErrorProfile(sensorID int) classify.ErrorProfile {
+	bySensor := d.profiles[sensorID]
+	out := make(classify.ErrorProfile, len(bySensor))
+	for hidden, rs := range bySensor {
+		st := classify.ErrorStats{
+			Mean: make(vecmat.Vector, len(rs)),
+			Std:  make(vecmat.Vector, len(rs)),
+		}
+		for i := range rs {
+			st.Mean[i] = rs[i].Mean()
+			st.Std[i] = rs[i].StdDev()
+			st.N = rs[i].N()
+		}
+		out[hidden] = st
+	}
+	return out
+}
+
+// ce returns (building lazily) the M_CE estimator for a sensor.
+func (d *Detector) ce(sensorID int) (*hmm.Online, error) {
+	if est, ok := d.mce[sensorID]; ok {
+		return est, nil
+	}
+	est, err := hmm.NewOnline(d.cfg.Beta, d.cfg.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	d.mce[sensorID] = est
+	return est, nil
+}
+
+// applyMerge replays a model-state merge onto every estimator that indexes
+// by state ID.
+func (d *Detector) applyMerge(into, from int) error {
+	if err := mergeOnline(d.mco, into, from); err != nil {
+		return fmt.Errorf("M_CO: %w", err)
+	}
+	for id, est := range d.mce {
+		if err := mergeOnline(est, into, from); err != nil {
+			return fmt.Errorf("M_CE sensor %d: %w", id, err)
+		}
+	}
+	if err := mergeChain(d.mc, into, from); err != nil {
+		return fmt.Errorf("M_C: %w", err)
+	}
+	if err := mergeChain(d.mo, into, from); err != nil {
+		return fmt.Errorf("M_O: %w", err)
+	}
+	d.tracks.MergeState(into, from)
+	for _, bySensor := range d.profiles {
+		src, ok := bySensor[from]
+		if !ok {
+			continue
+		}
+		dst, ok := bySensor[into]
+		if !ok {
+			bySensor[into] = src
+		} else {
+			for i := range dst {
+				if i < len(src) {
+					dst[i].Merge(src[i])
+				}
+			}
+		}
+		delete(bySensor, from)
+	}
+	return nil
+}
+
+// mergeOnline merges hidden and symbol identities if the estimator knows
+// them; unknown IDs are fine (the estimator never saw that state).
+func mergeOnline(o *hmm.Online, into, from int) error {
+	if containsInt(o.HiddenIDs(), from) {
+		if !containsInt(o.HiddenIDs(), into) {
+			o.EnsureHidden(into)
+		}
+		if err := o.MergeHidden(into, from); err != nil {
+			return err
+		}
+	}
+	if containsInt(o.SymbolIDs(), from) {
+		if !containsInt(o.SymbolIDs(), into) {
+			o.EnsureSymbol(into)
+		}
+		if err := o.MergeSymbol(into, from); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func mergeChain(c *markov.Chain, into, from int) error {
+	if !containsInt(c.IDs(), from) {
+		return nil
+	}
+	c.Ensure(into)
+	return c.Merge(into, from)
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// sensorMeans groups the window's readings by sensor and returns the sensor
+// IDs (ascending) with their mean observation vectors.
+func (d *Detector) sensorMeans(readings []sensor.Reading) ([]int, []vecmat.Vector, error) {
+	sums := make(map[int]vecmat.Vector)
+	counts := make(map[int]int)
+	for _, r := range readings {
+		if len(r.Values) != d.cfg.Dim {
+			return nil, nil, fmt.Errorf("core: reading from sensor %d has dimension %d, want %d",
+				r.Sensor, len(r.Values), d.cfg.Dim)
+		}
+		if sums[r.Sensor] == nil {
+			sums[r.Sensor] = vecmat.NewVector(d.cfg.Dim)
+		}
+		if err := sums[r.Sensor].AddInPlace(r.Values); err != nil {
+			return nil, nil, err
+		}
+		counts[r.Sensor]++
+	}
+	ids := make([]int, 0, len(sums))
+	for id := range sums {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	points := make([]vecmat.Vector, len(ids))
+	for i, id := range ids {
+		points[i] = sums[id].Scale(1 / float64(counts[id]))
+	}
+	return ids, points, nil
+}
+
+// majorityState returns the state ID backing the largest group of mapped
+// observations (ties break toward the smaller ID for determinism).
+func majorityState(mapped []int) int {
+	counts := make(map[int]int, len(mapped))
+	for _, id := range mapped {
+		counts[id]++
+	}
+	best, bestCount := 0, -1
+	for id, c := range counts {
+		if c > bestCount || (c == bestCount && id < best) {
+			best, bestCount = id, c
+		}
+	}
+	return best
+}
+
+// Steps returns the number of non-skipped windows processed.
+func (d *Detector) Steps() int { return d.steps }
+
+// SkippedWindows returns the number of windows dropped for lacking a sensor
+// quorum.
+func (d *Detector) SkippedWindows() int { return d.skipped }
+
+// States returns the current model states.
+func (d *Detector) States() []cluster.State { return d.states.States() }
+
+// StateAttributes returns the attribute vector of every current model state,
+// keyed by state ID.
+func (d *Detector) StateAttributes() map[int]vecmat.Vector {
+	out := make(map[int]vecmat.Vector)
+	for _, s := range d.states.States() {
+		out[s.ID] = s.Centroid
+	}
+	return out
+}
+
+// ModelCO returns an ID-ordered snapshot of the M_CO estimator.
+func (d *Detector) ModelCO() hmm.Snapshot { return d.mco.Snapshot() }
+
+// ModelCE returns an ID-ordered snapshot of a sensor's M_CE estimator.
+func (d *Detector) ModelCE(sensorID int) (hmm.Snapshot, bool) {
+	est, ok := d.mce[sensorID]
+	if !ok {
+		return hmm.Snapshot{}, false
+	}
+	return est.Snapshot(), true
+}
+
+// TrackedSensors returns every sensor that ever had an error/attack track,
+// in ascending order.
+func (d *Detector) TrackedSensors() []int {
+	ids := make([]int, 0, len(d.mce))
+	for id := range d.mce {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// CorrectChain returns the Markov model M_C of the correct environment
+// dynamics (step 5 of the methodology).
+func (d *Detector) CorrectChain() *markov.Chain { return d.mc }
+
+// ObservableChain returns the Markov model M_O of the observable dynamics.
+func (d *Detector) ObservableChain() *markov.Chain { return d.mo }
+
+// AlarmStats returns the per-sensor raw/filtered alarm statistics.
+func (d *Detector) AlarmStats() *alarm.Stats { return d.stats }
+
+// Tracks returns the track manager (open and closed tracks).
+func (d *Detector) Tracks() *track.Manager { return d.tracks }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/json"
+
+	"sensorguard/internal/classify"
+)
+
+// ReportJSON is the machine-readable form of a Report, for dashboards and
+// downstream automation. Matrices are omitted; use the Model* accessors for
+// those.
+type ReportJSON struct {
+	Detected bool               `json:"detected"`
+	Overall  string             `json:"overall"`
+	Network  NetworkJSON        `json:"network"`
+	Sensors  []SensorReportJSON `json:"sensors"`
+	Suspects []int              `json:"suspects,omitempty"`
+	States   []StateJSON        `json:"states"`
+}
+
+// NetworkJSON is the B^CO analysis.
+type NetworkJSON struct {
+	Kind          string          `json:"kind"`
+	Confidence    float64         `json:"confidence"`
+	RowViolations []ViolationJSON `json:"rowViolations,omitempty"`
+	ColViolations []ViolationJSON `json:"colViolations,omitempty"`
+}
+
+// ViolationJSON is one failed orthogonality condition.
+type ViolationJSON struct {
+	I   int     `json:"i"`
+	J   int     `json:"j"`
+	Dot float64 `json:"dot"`
+}
+
+// SensorReportJSON is one suspect sensor's diagnosis.
+type SensorReportJSON struct {
+	Sensor     int       `json:"sensor"`
+	Kind       string    `json:"kind"`
+	Confidence float64   `json:"confidence"`
+	StuckState []float64 `json:"stuckState,omitempty"`
+	RatioMean  []float64 `json:"ratioMean,omitempty"`
+	DiffMean   []float64 `json:"diffMean,omitempty"`
+}
+
+// StateJSON is one model state.
+type StateJSON struct {
+	ID     int       `json:"id"`
+	Attrs  []float64 `json:"attrs"`
+	Weight float64   `json:"weight"`
+}
+
+// JSON converts the report (resolving stuck-state attributes through the
+// report's state snapshot) into its serialisable form.
+func (r Report) JSON() ReportJSON {
+	out := ReportJSON{
+		Detected: r.Detected,
+		Overall:  r.Overall().String(),
+		Network: NetworkJSON{
+			Kind:       r.Network.Kind.String(),
+			Confidence: r.Network.Confidence,
+		},
+		Suspects: append([]int(nil), r.Suspects...),
+	}
+	for _, v := range r.Network.RowViolations {
+		if v.I == v.J {
+			continue
+		}
+		out.Network.RowViolations = append(out.Network.RowViolations,
+			ViolationJSON{I: v.I, J: v.J, Dot: v.Dot})
+	}
+	for _, v := range r.Network.ColViolations {
+		out.Network.ColViolations = append(out.Network.ColViolations,
+			ViolationJSON{I: v.I, J: v.J, Dot: v.Dot})
+	}
+	attrs := map[int][]float64{}
+	for _, s := range r.States {
+		attrs[s.ID] = s.Centroid
+		out.States = append(out.States, StateJSON{ID: s.ID, Attrs: s.Centroid, Weight: s.Weight})
+	}
+	for _, id := range sortedSensorIDs(r.Sensors) {
+		diag := r.Sensors[id]
+		sj := SensorReportJSON{Sensor: id, Kind: diag.Kind.String(), Confidence: diag.Confidence}
+		if diag.Kind == classify.KindStuckAt {
+			sj.StuckState = attrs[diag.StuckState]
+		}
+		if len(diag.Ratio.Mean) > 0 {
+			sj.RatioMean = diag.Ratio.Mean
+		}
+		if len(diag.Diff.Mean) > 0 {
+			sj.DiffMean = diag.Diff.Mean
+		}
+		out.Sensors = append(out.Sensors, sj)
+	}
+	return out
+}
+
+// MarshalIndentJSON renders the report as indented JSON.
+func (r Report) MarshalIndentJSON() ([]byte, error) {
+	return json.MarshalIndent(r.JSON(), "", "  ")
+}
+
+func sortedSensorIDs(m map[int]classify.SensorDiagnosis) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sensorguard/internal/vecmat"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	d := mustDetector(t)
+	for i := 0; i < 30; i++ {
+		bySensor := make([]vecmat.Vector, 10)
+		for s := 0; s < 9; s++ {
+			bySensor[s] = keyStates()[i%4].Clone()
+		}
+		bySensor[9] = vecmat.Vector{45, 20}
+		if _, err := d.Step(window(i, bySensor)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := d.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.MarshalIndentJSON()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded ReportJSON
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded.Detected != rep.Detected {
+		t.Errorf("detected = %v, want %v", decoded.Detected, rep.Detected)
+	}
+	if decoded.Overall != rep.Overall().String() {
+		t.Errorf("overall = %q", decoded.Overall)
+	}
+	if decoded.Network.Kind != rep.Network.Kind.String() {
+		t.Errorf("network kind = %q", decoded.Network.Kind)
+	}
+	if len(decoded.States) != len(rep.States) {
+		t.Errorf("states = %d, want %d", len(decoded.States), len(rep.States))
+	}
+	// Sensor entries are sorted by ID.
+	for i := 1; i < len(decoded.Sensors); i++ {
+		if decoded.Sensors[i].Sensor < decoded.Sensors[i-1].Sensor {
+			t.Error("sensor entries not sorted")
+		}
+	}
+}
+
+func TestReportJSONStuckStateAttrs(t *testing.T) {
+	d := mustDetector(t)
+	// Two alternating hidden states with a persistently stuck outlier, so
+	// the stuck-at diagnosis (and its state attributes) appears.
+	for i := 0; i < 40; i++ {
+		bySensor := make([]vecmat.Vector, 10)
+		for s := 0; s < 9; s++ {
+			bySensor[s] = keyStates()[i%2].Clone()
+		}
+		bySensor[9] = vecmat.Vector{45, 20}
+		if _, err := d.Step(window(i, bySensor)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := d.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := rep.JSON()
+	found := false
+	for _, s := range js.Sensors {
+		if s.Sensor == 9 && s.Kind == "stuck-at" {
+			found = true
+			if len(s.StuckState) != 2 {
+				t.Errorf("stuck state attrs = %v", s.StuckState)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("stuck sensor missing from JSON: %+v", js.Sensors)
+	}
+}

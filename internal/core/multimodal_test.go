@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sensorguard/internal/classify"
+	"sensorguard/internal/fault"
+	"sensorguard/internal/gdi"
+	"sensorguard/internal/network"
+	"sensorguard/internal/vecmat"
+)
+
+// TestScenarioThreeAttributes runs the full pipeline on the three-attribute
+// GDI trace (temperature, humidity, pressure — the paper's motes are
+// multimodal). A stuck sensor must be detected and typed in the
+// three-dimensional attribute space.
+func TestScenarioThreeAttributes(t *testing.T) {
+	drop, err := fault.NewIntermittent(0.7, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.NewPlan(
+		fault.Schedule{
+			Sensor:   6,
+			Injector: fault.StuckAt{Value: vecmat.Vector{15, 1, 990}},
+			Start:    2 * 24 * time.Hour,
+		},
+		fault.Schedule{Sensor: 6, Injector: drop, Start: 2 * 24 * time.Hour},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gdi.DefaultGenerateConfig()
+	cfg.Days = 12
+	cfg.WithPressure = true
+	tr, err := gdi.Generate(cfg, network.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Attributes) != 3 {
+		t.Fatalf("attributes = %v", tr.Attributes)
+	}
+	for _, r := range tr.Readings[:10] {
+		if len(r.Values) != 3 {
+			t.Fatalf("reading dimension = %d", len(r.Values))
+		}
+	}
+
+	dcfg := DefaultConfig([]vecmat.Vector{
+		{12, 94, 1013}, {17, 84, 1013}, {24, 70, 1013}, {31, 56, 1013},
+	})
+	dcfg.Dim = 3
+	det, err := NewDetector(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.ProcessTrace(tr.Readings); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := det.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Fatal("3-attribute fault not detected")
+	}
+	diag, ok := rep.Sensors[6]
+	if !ok {
+		t.Fatalf("no diagnosis for sensor 6; tracked %v", det.TrackedSensors())
+	}
+	if diag.Kind != classify.KindStuckAt {
+		snap, _ := det.ModelCE(6)
+		t.Fatalf("sensor 6 kind = %v, want stuck-at\nB^CE:\n%v\nstates %v",
+			diag.Kind, snap.B, det.States())
+	}
+	stuck := det.StateAttributes()[diag.StuckState]
+	if len(stuck) != 3 {
+		t.Fatalf("stuck state = %v, want 3 attributes", stuck)
+	}
+	if d, _ := stuck.Distance(vecmat.Vector{15, 1, 990}); d > 5 {
+		t.Errorf("stuck state = %v, want near (15,1,990)", stuck)
+	}
+	if rep.Network.Kind.IsAttack() {
+		t.Errorf("network kind = %v", rep.Network.Kind)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sensorguard/internal/attack"
+	"sensorguard/internal/classify"
+	"sensorguard/internal/fault"
+	"sensorguard/internal/gdi"
+	"sensorguard/internal/network"
+	"sensorguard/internal/vecmat"
+)
+
+func TestQuarantineIsolatesLoudStuckSensor(t *testing.T) {
+	// A stuck sensor transmitting at full rate shifts the network mean by
+	// almost a full state; quarantine must kick in once its M_CE shows
+	// the stuck structure, keeping B^CO orthogonal.
+	plan, err := fault.NewPlan(fault.Schedule{
+		Sensor:   6,
+		Injector: fault.StuckAt{Value: vecmat.Vector{15, 1}},
+		Start:    2 * 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, rep := runScenario(t, scenarioDays, network.WithFaults(plan))
+
+	if got := det.Quarantined(); len(got) != 1 || got[0] != 6 {
+		t.Errorf("Quarantined = %v, want [6]", got)
+	}
+	if rep.Network.Kind.IsAttack() {
+		t.Errorf("loud stuck sensor classified as attack %v\nB^CO:\n%v",
+			rep.Network.Kind, det.ModelCO().B)
+	}
+	diag, ok := rep.Sensors[6]
+	if !ok || diag.Kind != classify.KindStuckAt {
+		t.Errorf("sensor 6 diagnosis = %+v, want stuck-at", diag)
+	}
+}
+
+func TestQuarantineWithheldForCoordinatedSensors(t *testing.T) {
+	// A Dynamic-Change attack makes its three malicious sensors look like
+	// identical additive faults; the coordination rule must keep them in
+	// the network view so the change signature survives.
+	adv, err := attack.NewAdversary([]int{0, 1, 2}, gdi.Ranges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := &attack.DynamicChange{
+		Adversary: adv,
+		Offset:    vecmat.Vector{5, -12},
+		Start:     2 * 24 * time.Hour,
+	}
+	det, rep := runScenario(t, scenarioDays+7, network.WithAttack(strat))
+
+	if got := det.Quarantined(); len(got) != 0 {
+		t.Errorf("coordinated sensors quarantined: %v", got)
+	}
+	if rep.Network.Kind != classify.KindDynamicChange {
+		t.Errorf("network kind = %v, want dynamic-change", rep.Network.Kind)
+	}
+}
+
+func TestQuarantineDisabled(t *testing.T) {
+	cfg := DefaultConfig(keyStates())
+	cfg.QuarantineAfter = 0
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A persistent outlier never gets quarantined when disabled.
+	for i := 0; i < 60; i++ {
+		bySensor := make([]vecmat.Vector, 10)
+		for s := 0; s < 9; s++ {
+			bySensor[s] = vecmat.Vector{24, 70}
+		}
+		bySensor[9] = vecmat.Vector{15, 1}
+		if _, err := det.Step(window(i, bySensor)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := det.Quarantined(); len(got) != 0 {
+		t.Errorf("quarantine ran while disabled: %v", got)
+	}
+}
+
+func TestQuarantineLiftsWhenSensorRecovers(t *testing.T) {
+	cfg := DefaultConfig(keyStates())
+	cfg.QuarantineAfter = 10
+	det, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(i int, bad bool) {
+		bySensor := make([]vecmat.Vector, 10)
+		for s := 0; s < 10; s++ {
+			bySensor[s] = keyStates()[i%4].Clone()
+		}
+		if bad {
+			bySensor[9] = vecmat.Vector{45, 20} // far from every key state
+		}
+		if _, err := det.Step(window(i, bySensor)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		step(i, true)
+	}
+	if got := det.Quarantined(); len(got) != 1 {
+		t.Fatalf("Quarantined = %v, want sensor 9 isolated", got)
+	}
+	for i := 40; i < 60; i++ {
+		step(i, false)
+	}
+	if got := det.Quarantined(); len(got) != 0 {
+		t.Errorf("quarantine not lifted after recovery: %v", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package env models the sensed environment Θ(t) of §3.1: a multi-
+// dimensional, time-varying ground truth that sensors observe through noise.
+// Signals are deterministic functions of time (randomness, where wanted, is
+// frozen at construction from a seed), so a simulation can be replayed
+// exactly and sampled at arbitrary instants.
+package env
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sensorguard/internal/vecmat"
+)
+
+// Signal is a scalar environment attribute as a function of elapsed time.
+type Signal interface {
+	// At returns the attribute value at elapsed time t since deployment.
+	At(t time.Duration) float64
+}
+
+// Field is a multi-attribute environment: one Signal per attribute.
+type Field []Signal
+
+// At samples every attribute at elapsed time t, yielding Θ(t).
+func (f Field) At(t time.Duration) vecmat.Vector {
+	out := make(vecmat.Vector, len(f))
+	for i, s := range f {
+		out[i] = s.At(t)
+	}
+	return out
+}
+
+// Dim returns the number of attributes.
+func (f Field) Dim() int { return len(f) }
+
+// Constant is a fixed-value signal.
+type Constant float64
+
+// At implements Signal.
+func (c Constant) At(time.Duration) float64 { return float64(c) }
+
+// Sine is a sinusoidal signal with the given period, mean, amplitude, and
+// phase (fraction of the period at t=0).
+type Sine struct {
+	Period    time.Duration
+	Mean      float64
+	Amplitude float64
+	Phase     float64
+}
+
+// At implements Signal.
+func (s Sine) At(t time.Duration) float64 {
+	if s.Period <= 0 {
+		return s.Mean
+	}
+	frac := math.Mod(t.Seconds()/s.Period.Seconds()+s.Phase, 1)
+	return s.Mean + s.Amplitude*math.Sin(2*math.Pi*frac)
+}
+
+// Level is one plateau of a Staircase: the value held starting at Start
+// within each period.
+type Level struct {
+	// Start is the offset within the period at which the level begins.
+	Start time.Duration
+	// Value is the plateau value.
+	Value float64
+}
+
+// Staircase is a periodic piecewise-constant signal with linear ramps
+// between consecutive plateaus. It models environments that dwell in a small
+// number of physical states — exactly the structure the paper's Markov model
+// M_C captures (Fig. 7: four key (temperature, humidity) states over a day).
+type Staircase struct {
+	period time.Duration
+	ramp   time.Duration
+	levels []Level
+}
+
+// NewStaircase builds a staircase signal. Levels must be sorted by Start,
+// be non-empty, and fit within the period; ramp is the transition duration
+// into each level (clamped to the gap between levels).
+func NewStaircase(period, ramp time.Duration, levels []Level) (*Staircase, error) {
+	if period <= 0 {
+		return nil, errors.New("env: staircase period must be positive")
+	}
+	if len(levels) == 0 {
+		return nil, errors.New("env: staircase needs at least one level")
+	}
+	if ramp < 0 {
+		return nil, errors.New("env: staircase ramp must be non-negative")
+	}
+	for i, l := range levels {
+		if l.Start < 0 || l.Start >= period {
+			return nil, fmt.Errorf("env: level %d start %v outside [0,%v)", i, l.Start, period)
+		}
+		if i > 0 && levels[i-1].Start >= l.Start {
+			return nil, fmt.Errorf("env: levels not sorted at index %d", i)
+		}
+	}
+	cp := make([]Level, len(levels))
+	copy(cp, levels)
+	return &Staircase{period: period, ramp: ramp, levels: cp}, nil
+}
+
+// At implements Signal.
+func (s *Staircase) At(t time.Duration) float64 {
+	off := t % s.period
+	if off < 0 {
+		off += s.period
+	}
+	// Find the active level: the last one whose Start <= off (wrapping).
+	idx := len(s.levels) - 1
+	for i, l := range s.levels {
+		if l.Start <= off {
+			idx = i
+		}
+	}
+	cur := s.levels[idx]
+	prev := s.levels[(idx+len(s.levels)-1)%len(s.levels)]
+
+	// Linear ramp from prev.Value to cur.Value over the first ramp
+	// duration after cur.Start.
+	since := off - cur.Start
+	if since < 0 {
+		since += s.period
+	}
+	if s.ramp <= 0 || since >= s.ramp {
+		return cur.Value
+	}
+	frac := float64(since) / float64(s.ramp)
+	return prev.Value + (cur.Value-prev.Value)*frac
+}
+
+// Drift adds a slow deterministic pseudo-random wander to a base signal:
+// a sum of incommensurate sinusoids with seeded phases. It models day-to-day
+// weather variability while keeping At a pure function of t.
+type Drift struct {
+	Base      Signal
+	Amplitude float64
+	phases    [3]float64
+	periods   [3]time.Duration
+}
+
+// NewDrift wraps base with wander of the given amplitude; seed freezes the
+// phases.
+func NewDrift(base Signal, amplitude float64, seed int64) *Drift {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Drift{Base: base, Amplitude: amplitude}
+	d.periods = [3]time.Duration{31 * time.Hour, 67 * time.Hour, 131 * time.Hour}
+	for i := range d.phases {
+		d.phases[i] = rng.Float64()
+	}
+	return d
+}
+
+// At implements Signal.
+func (d *Drift) At(t time.Duration) float64 {
+	v := d.Base.At(t)
+	var w float64
+	for i, p := range d.periods {
+		frac := math.Mod(t.Seconds()/p.Seconds()+d.phases[i], 1)
+		w += math.Sin(2 * math.Pi * frac)
+	}
+	return v + d.Amplitude*w/3
+}
+
+// Clamped restricts a signal to [Lo, Hi] — physical attribute ranges such as
+// the [0,100] relative-humidity range the paper uses for admissibility.
+type Clamped struct {
+	Base   Signal
+	Lo, Hi float64
+}
+
+// At implements Signal.
+func (c Clamped) At(t time.Duration) float64 {
+	v := c.Base.At(t)
+	return math.Max(c.Lo, math.Min(c.Hi, v))
+}
+
+// Offset shifts a signal by a constant.
+type Offset struct {
+	Base  Signal
+	Delta float64
+}
+
+// At implements Signal.
+func (o Offset) At(t time.Duration) float64 { return o.Base.At(t) + o.Delta }
+
+// hoursDuration converts fractional hours to a Duration.
+func hoursDuration(h float64) time.Duration {
+	return time.Duration(h * float64(time.Hour))
+}

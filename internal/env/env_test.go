@@ -1,0 +1,210 @@
+package env
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant(42)
+	if c.At(0) != 42 || c.At(time.Hour) != 42 {
+		t.Error("Constant is not constant")
+	}
+}
+
+func TestSine(t *testing.T) {
+	s := Sine{Period: 24 * time.Hour, Mean: 10, Amplitude: 5}
+	if got := s.At(0); math.Abs(got-10) > 1e-9 {
+		t.Errorf("At(0) = %v, want mean 10", got)
+	}
+	if got := s.At(6 * time.Hour); math.Abs(got-15) > 1e-9 {
+		t.Errorf("At(quarter period) = %v, want 15", got)
+	}
+	if got := s.At(24 * time.Hour); math.Abs(got-10) > 1e-9 {
+		t.Errorf("period wrap: At(24h) = %v, want 10", got)
+	}
+	degenerate := Sine{Mean: 3}
+	if degenerate.At(time.Hour) != 3 {
+		t.Error("zero-period sine should return mean")
+	}
+}
+
+func TestNewStaircaseValidation(t *testing.T) {
+	day := 24 * time.Hour
+	ok := []Level{{Start: 0, Value: 1}, {Start: 12 * time.Hour, Value: 2}}
+	if _, err := NewStaircase(0, 0, ok); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewStaircase(day, 0, nil); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := NewStaircase(day, -time.Hour, ok); err == nil {
+		t.Error("negative ramp accepted")
+	}
+	if _, err := NewStaircase(day, 0, []Level{{Start: 25 * time.Hour, Value: 1}}); err == nil {
+		t.Error("level outside period accepted")
+	}
+	if _, err := NewStaircase(day, 0, []Level{{Start: time.Hour, Value: 1}, {Start: time.Hour, Value: 2}}); err == nil {
+		t.Error("unsorted levels accepted")
+	}
+	if _, err := NewStaircase(day, time.Hour, ok); err != nil {
+		t.Errorf("valid staircase rejected: %v", err)
+	}
+}
+
+func TestStaircasePlateausAndRamps(t *testing.T) {
+	day := 24 * time.Hour
+	s, err := NewStaircase(day, 2*time.Hour, []Level{
+		{Start: 0, Value: 10},
+		{Start: 12 * time.Hour, Value: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(6 * time.Hour); got != 10 {
+		t.Errorf("plateau 1 = %v, want 10", got)
+	}
+	if got := s.At(16 * time.Hour); got != 20 {
+		t.Errorf("plateau 2 = %v, want 20", got)
+	}
+	// Mid-ramp: one hour into the 2h transition at 12h.
+	if got := s.At(13 * time.Hour); math.Abs(got-15) > 1e-9 {
+		t.Errorf("mid-ramp = %v, want 15", got)
+	}
+	// Periodicity.
+	if got := s.At(30 * time.Hour); got != s.At(6*time.Hour) {
+		t.Errorf("not periodic: At(30h)=%v At(6h)=%v", got, s.At(6*time.Hour))
+	}
+	// Wrap-around ramp into level 0 at the period boundary.
+	if got := s.At(1 * time.Hour); math.Abs(got-15) > 1e-9 {
+		t.Errorf("wrap ramp = %v, want 15", got)
+	}
+}
+
+func TestDriftIsDeterministicAndBounded(t *testing.T) {
+	base := Constant(50)
+	d1 := NewDrift(base, 2, 7)
+	d2 := NewDrift(base, 2, 7)
+	d3 := NewDrift(base, 2, 8)
+	differs := false
+	for h := 0; h < 100; h++ {
+		tt := time.Duration(h) * time.Hour
+		if d1.At(tt) != d2.At(tt) {
+			t.Fatalf("same seed diverged at %v", tt)
+		}
+		if d1.At(tt) != d3.At(tt) {
+			differs = true
+		}
+		if math.Abs(d1.At(tt)-50) > 2 {
+			t.Fatalf("drift exceeded amplitude at %v: %v", tt, d1.At(tt))
+		}
+	}
+	if !differs {
+		t.Error("different seeds produced identical drift")
+	}
+}
+
+func TestClampedAndOffset(t *testing.T) {
+	c := Clamped{Base: Constant(150), Lo: 0, Hi: 100}
+	if got := c.At(0); got != 100 {
+		t.Errorf("clamp high = %v, want 100", got)
+	}
+	c2 := Clamped{Base: Constant(-5), Lo: 0, Hi: 100}
+	if got := c2.At(0); got != 0 {
+		t.Errorf("clamp low = %v, want 0", got)
+	}
+	o := Offset{Base: Constant(10), Delta: -3}
+	if got := o.At(0); got != 7 {
+		t.Errorf("offset = %v, want 7", got)
+	}
+}
+
+func TestFieldAt(t *testing.T) {
+	f := Field{Constant(1), Constant(2)}
+	v := f.At(time.Minute)
+	if f.Dim() != 2 || v[0] != 1 || v[1] != 2 {
+		t.Errorf("Field.At = %v", v)
+	}
+}
+
+func TestGDIProfileStructure(t *testing.T) {
+	f, err := GDIProfile(3, 1)
+	if err != nil {
+		t.Fatalf("GDIProfile: %v", err)
+	}
+	if f.Dim() != 2 {
+		t.Fatalf("dim = %d, want 2 (temp, humidity)", f.Dim())
+	}
+
+	// Night sample near (12,94); afternoon near (31,56). Drift allows a
+	// few units of slack.
+	night := f.At(3 * time.Hour)
+	if math.Abs(night[0]-12) > 4 || math.Abs(night[1]-94) > 6 {
+		t.Errorf("night sample = %v, want near (12,94)", night)
+	}
+	noon := f.At(15 * time.Hour)
+	if math.Abs(noon[0]-31) > 4 || math.Abs(noon[1]-56) > 6 {
+		t.Errorf("afternoon sample = %v, want near (31,56)", noon)
+	}
+
+	// Humidity must always stay in [0,100] across a month.
+	for h := 0; h < 24*31; h++ {
+		v := f.At(time.Duration(h) * time.Hour)
+		if v[1] < 0 || v[1] > 100 {
+			t.Fatalf("humidity %v outside [0,100] at hour %d", v[1], h)
+		}
+	}
+
+	// Temperature and humidity must be anticorrelated over a day.
+	var tSum, hSum float64
+	const n = 24 * 12
+	temps := make([]float64, n)
+	hums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := f.At(time.Duration(i) * 5 * time.Minute)
+		temps[i], hums[i] = v[0], v[1]
+		tSum += v[0]
+		hSum += v[1]
+	}
+	tMean, hMean := tSum/n, hSum/n
+	var cov float64
+	for i := 0; i < n; i++ {
+		cov += (temps[i] - tMean) * (hums[i] - hMean)
+	}
+	if cov >= 0 {
+		t.Errorf("temperature and humidity not anticorrelated: cov = %v", cov)
+	}
+}
+
+func TestGDIProfile3Pressure(t *testing.T) {
+	f, err := GDIProfile3(3, 1)
+	if err != nil {
+		t.Fatalf("GDIProfile3: %v", err)
+	}
+	if f.Dim() != 3 {
+		t.Fatalf("dim = %d, want 3", f.Dim())
+	}
+	// Pressure stays near 1013 hPa with small oscillation.
+	for h := 0; h < 24*7; h++ {
+		p := f.At(time.Duration(h) * time.Hour)[2]
+		if p < 1005 || p > 1021 {
+			t.Fatalf("pressure %v out of plausible band at hour %d", p, h)
+		}
+	}
+	// Semi-diurnal oscillation: values half a period apart differ
+	// in oscillation phase; just assert the signal is not constant.
+	if f.At(0)[2] == f.At(3 * time.Hour)[2] && f.At(0)[2] == f.At(6 * time.Hour)[2] {
+		t.Error("pressure signal appears constant")
+	}
+}
+
+func TestGDIKeyStates(t *testing.T) {
+	ks := GDIKeyStates()
+	if len(ks) != 4 {
+		t.Fatalf("key states = %d, want 4", len(ks))
+	}
+	if ks[0] != [2]float64{12, 94} || ks[3] != [2]float64{31, 56} {
+		t.Errorf("key states = %v", ks)
+	}
+}

@@ -1,0 +1,78 @@
+package env
+
+import "time"
+
+// GDIProfile builds the two-attribute (temperature °C, relative humidity %)
+// environment field calibrated to the structure the paper reports for the
+// Great Duck Island deployment in July 2003 (Figs. 6 and 7): a diurnal cycle
+// dwelling in four key states
+//
+//	(12,94) night → (17,84) morning → (24,70) midday → (31,56) afternoon
+//
+// and returning through (24,70) and (17,84) in the evening, with
+// anticorrelated temperature and humidity, slow day-to-day drift, and
+// physical clamping of humidity to [0,100].
+//
+// seed freezes the drift phases; driftAmp scales day-to-day variability
+// (≈1 °C / ≈2 %RH at driftAmp = 1).
+func GDIProfile(seed int64, driftAmp float64) (Field, error) {
+	const day = 24 * time.Hour
+	ramp := 90 * time.Minute
+
+	tempLevels := []Level{
+		{Start: 0, Value: 12},                 // night
+		{Start: hoursDuration(7), Value: 17},  // morning
+		{Start: hoursDuration(10), Value: 24}, // midday
+		{Start: hoursDuration(13), Value: 31}, // afternoon peak
+		{Start: hoursDuration(17), Value: 24}, // early evening
+		{Start: hoursDuration(20), Value: 17}, // late evening
+		{Start: hoursDuration(23), Value: 12}, // back to night
+	}
+	humLevels := []Level{
+		{Start: 0, Value: 94},
+		{Start: hoursDuration(7), Value: 84},
+		{Start: hoursDuration(10), Value: 70},
+		{Start: hoursDuration(13), Value: 56},
+		{Start: hoursDuration(17), Value: 70},
+		{Start: hoursDuration(20), Value: 84},
+		{Start: hoursDuration(23), Value: 94},
+	}
+
+	temp, err := NewStaircase(day, ramp, tempLevels)
+	if err != nil {
+		return nil, err
+	}
+	hum, err := NewStaircase(day, ramp, humLevels)
+	if err != nil {
+		return nil, err
+	}
+
+	return Field{
+		NewDrift(temp, 1.0*driftAmp, seed),
+		Clamped{Base: NewDrift(hum, 2.0*driftAmp, seed+1), Lo: 0, Hi: 100},
+	}, nil
+}
+
+// GDIKeyStates returns the four key (temperature, humidity) states of the
+// paper's Fig. 7, usable as ground truth in tests and experiments.
+func GDIKeyStates() [][2]float64 {
+	return [][2]float64{{12, 94}, {17, 84}, {24, 70}, {31, 56}}
+}
+
+// GDIProfile3 extends GDIProfile with the third attribute the GDI motes
+// measure (§4: "temperature, humidity, and pressure"): barometric pressure
+// in hPa with a small semi-diurnal tide (the classic atmospheric S2
+// oscillation, ~1 hPa peak around a ~1013 hPa mean) plus weather-front
+// drift.
+func GDIProfile3(seed int64, driftAmp float64) (Field, error) {
+	base, err := GDIProfile(seed, driftAmp)
+	if err != nil {
+		return nil, err
+	}
+	pressure := NewDrift(Sine{
+		Period:    12 * time.Hour,
+		Mean:      1013,
+		Amplitude: 1.0,
+	}, 2.0*driftAmp, seed+2)
+	return append(base, pressure), nil
+}

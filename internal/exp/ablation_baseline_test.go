@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sensorguard/internal/classify"
+)
+
+func TestAblationBaseline(t *testing.T) {
+	cfg := testConfig()
+	cfg.Days = 10
+	res, err := AblationBaseline(cfg)
+	if err != nil {
+		t.Fatalf("AblationBaseline: %v", err)
+	}
+	// Our methodology must detect, type, and attribute the fault.
+	if !res.OursDetected {
+		t.Error("our detector missed the fault")
+	}
+	if res.OursKind != classify.KindStuckAt {
+		t.Errorf("our diagnosis = %v, want stuck-at", res.OursKind)
+	}
+	if res.OursCulprit != 6 {
+		t.Errorf("culprit = %d, want sensor 6", res.OursCulprit)
+	}
+	// The baseline must have paid a real training cost.
+	if res.BaselineTrainTime <= 0 {
+		t.Error("baseline training time not recorded")
+	}
+	// The baseline must be substantially blind to the single-sensor
+	// fault: the dying sensor's thinning traffic shifts the network mean
+	// by only a few percent, inside the learned dynamics.
+	if res.BaselineWindows == 0 {
+		t.Fatal("baseline monitored no windows")
+	}
+	frac := float64(res.BaselineAnomalousWindows) / float64(res.BaselineWindows)
+	if frac > 0.5 {
+		t.Errorf("baseline flagged %.0f%% of faulty windows; expected substantial blindness", 100*frac)
+	}
+	if s := res.String(); !strings.Contains(s, "no fault type") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationDetectionLatency(t *testing.T) {
+	cfg := testConfig()
+	cfg.Days = 8
+	res, err := AblationDetectionLatency(cfg)
+	if err != nil {
+		t.Fatalf("AblationDetectionLatency: %v", err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(res.Points))
+	}
+	// Strong faults must be detected promptly and typed as calibration.
+	strong := res.Points[len(res.Points)-1] // factor 0.7
+	if strong.DetectionWindow < 0 {
+		t.Error("strong fault undetected")
+	}
+	if strong.LatencyWindows > 12 {
+		t.Errorf("strong-fault latency = %d windows, want prompt", strong.LatencyWindows)
+	}
+	if strong.Kind != classify.KindCalibration {
+		t.Errorf("strong-fault diagnosis = %v, want calibration", strong.Kind)
+	}
+	// The weakest fault (factor 0.95, a ~4-unit humidity displacement,
+	// below the inter-state spacing) documents the sensitivity floor:
+	// it may be missed or typed less precisely; both are acceptable, but
+	// it must never read as an attack.
+	weak := res.Points[0]
+	if weak.Kind.IsAttack() {
+		t.Errorf("weak fault read as attack %v", weak.Kind)
+	}
+	if s := res.String(); !strings.Contains(s, "factor 0.70") {
+		t.Errorf("render incomplete:\n%s", s)
+	}
+}
+
+func TestAblationNoiseSweep(t *testing.T) {
+	cfg := testConfig()
+	cfg.Days = 10
+	res, err := AblationNoiseSweep(cfg)
+	if err != nil {
+		t.Fatalf("AblationNoiseSweep: %v", err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	// At nominal noise the calibration diagnosis must hold.
+	if res.Points[0].Kind != classify.KindCalibration {
+		t.Errorf("noise ×1 diagnosis = %v, want calibration", res.Points[0].Kind)
+	}
+	// The healthy false-alarm rate must grow with noise (the Ye et al.
+	// low-noise caveat made measurable).
+	if res.Points[3].HealthyRawRate < res.Points[0].HealthyRawRate {
+		t.Errorf("false-alarm rate did not grow with noise: %v vs %v",
+			res.Points[3].HealthyRawRate, res.Points[0].HealthyRawRate)
+	}
+	if s := res.String(); !strings.Contains(s, "noise ×") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationBaselineAttack(t *testing.T) {
+	cfg := testConfig()
+	cfg.Days = 21
+	res, err := AblationBaselineAttack(cfg)
+	if err != nil {
+		t.Fatalf("AblationBaselineAttack: %v", err)
+	}
+	// The deletion attack keeps the observable series inside the learned
+	// dynamics: the baseline must be (almost) blind to it.
+	if res.BaselineWindows == 0 {
+		t.Fatal("baseline monitored no windows")
+	}
+	if frac := float64(res.BaselineAnomalousWindows) / float64(res.BaselineWindows); frac > 0.2 {
+		t.Errorf("baseline flagged %.0f%% of windows; deletion is designed to be likelihood-stealthy", 100*frac)
+	}
+	// Only this methodology names the attack.
+	if res.OursKind != classify.KindDynamicDeletion {
+		t.Errorf("our diagnosis = %v, want dynamic-deletion", res.OursKind)
+	}
+	if s := res.String(); !strings.Contains(s, "structurally blind") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationWindowSize(t *testing.T) {
+	cfg := testConfig()
+	cfg.Days = 10
+	res, err := AblationWindowSize(cfg)
+	if err != nil {
+		t.Fatalf("AblationWindowSize: %v", err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(res.Points))
+	}
+	// The paper's 1h window must classify the fault.
+	for _, p := range res.Points {
+		if p.Window == time.Hour && p.Kind != classify.KindStuckAt {
+			t.Errorf("w=1h diagnosis = %v, want stuck-at", p.Kind)
+		}
+		if p.Kind.IsAttack() {
+			t.Errorf("w=%v: single-sensor fault read as attack %v", p.Window, p.Kind)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "window size") {
+		t.Error("render incomplete")
+	}
+}

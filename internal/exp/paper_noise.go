@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sensorguard/internal/classify"
+	"sensorguard/internal/fault"
+	"sensorguard/internal/network"
+)
+
+// NoiseFaultResult is the random-noise classification experiment outcome.
+type NoiseFaultResult struct {
+	// Kind is the diagnosis for the noisy sensor.
+	Kind classify.Kind
+	// MaxStd is the measured within-state spread driving the verdict.
+	MaxStd float64
+	// RatioMean is the near-identity empirical ratio.
+	RatioMean []float64
+	// RawRate is the noisy sensor's raw alarm rate.
+	RawRate float64
+}
+
+// NoiseFault exercises the fourth fault type of §3.3 (Random Noise). The
+// paper states this type cannot be classified from the HMM structure (the
+// estimated M_O and M_C are identical and B^CE carries no fixed pattern);
+// this implementation identifies it from the suspect's empirical per-state
+// statistics: means near the correct states, variance far above the device
+// noise floor.
+func NoiseFault(cfg Config) (NoiseFaultResult, error) {
+	noise, err := fault.NewRandomNoise([]float64{12, 30}, cfg.Seed+7)
+	if err != nil {
+		return NoiseFaultResult{}, err
+	}
+	plan, err := fault.NewPlan(fault.Schedule{
+		Sensor:   2,
+		Injector: noise,
+		Start:    2 * 24 * time.Hour,
+	})
+	if err != nil {
+		return NoiseFaultResult{}, err
+	}
+	det, _, err := run(cfg, network.WithFaults(plan))
+	if err != nil {
+		return NoiseFaultResult{}, err
+	}
+	rep, err := det.Report()
+	if err != nil {
+		return NoiseFaultResult{}, err
+	}
+	res := NoiseFaultResult{Kind: classify.KindNone, RawRate: det.AlarmStats().RawRate(2)}
+	if d, ok := rep.Sensors[2]; ok {
+		res.Kind = d.Kind
+		res.MaxStd = d.MaxStd
+		res.RatioMean = d.Ratio.Mean
+	}
+	return res, nil
+}
+
+// String renders the experiment.
+func (r NoiseFaultResult) String() string {
+	var b strings.Builder
+	b.WriteString("Random-noise fault on sensor 2 (beyond-paper: §3.4 deems it unclassifiable from HMM structure)\n")
+	fmt.Fprintf(&b, "  diagnosis=%v, within-state std %.1f, raw alarm rate %.1f%%\n",
+		r.Kind, r.MaxStd, 100*r.RawRate)
+	if len(r.RatioMean) == 2 {
+		fmt.Fprintf(&b, "  empirical ratio (%.2f, %.2f) — near identity, as zero-mean noise implies\n",
+			r.RatioMean[0], r.RatioMean[1])
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package gdi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the trace parser with arbitrary inputs: it must
+// never panic, and anything it accepts must survive a write/read round
+// trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time_seconds,sensor,temperature,humidity\n300,0,12.5,94\n")
+	f.Add("time_seconds,sensor,temperature\n1,1,2\n")
+	f.Add("")
+	f.Add("a,b\n1,2\n")
+	f.Add("time_seconds,sensor,temperature,humidity\nxx,0,1,2\n")
+	f.Add("time_seconds,sensor,t\n1e308,99,-0\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialise: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialised trace failed to parse: %v", err)
+		}
+		if len(again.Readings) != len(tr.Readings) {
+			t.Fatalf("round trip changed reading count: %d -> %d",
+				len(tr.Readings), len(again.Readings))
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package hmm
+
+import (
+	"errors"
+	"math"
+)
+
+// Posterior runs forward-backward smoothing and returns, for every time
+// step, the posterior distribution over hidden states given the whole
+// observation sequence: γ_t(i) = Pr{s_t = S_i | O, λ}.
+func (m *Model) Posterior(obs []int) ([][]float64, error) {
+	alpha, ll, err := m.forward(obs)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsInf(ll, -1) {
+		return nil, errors.New("hmm: observation sequence has zero probability")
+	}
+	beta := m.backward(obs, alpha)
+	states := m.States()
+	gamma := make([][]float64, len(obs))
+	for t := range obs {
+		gamma[t] = make([]float64, states)
+		var s float64
+		for i := 0; i < states; i++ {
+			gamma[t][i] = alpha[t][i] * beta[t][i]
+			s += gamma[t][i]
+		}
+		if s > 0 {
+			for i := range gamma[t] {
+				gamma[t][i] /= s
+			}
+		}
+	}
+	return gamma, nil
+}
+
+// MostLikelyStates returns the per-step maximum-posterior state sequence
+// (which can differ from the Viterbi path: it maximises per-step marginals,
+// not joint probability).
+func (m *Model) MostLikelyStates(obs []int) ([]int, error) {
+	gamma, err := m.Posterior(obs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(obs))
+	for t := range gamma {
+		best, bestP := 0, -1.0
+		for i, p := range gamma[t] {
+			if p > bestP {
+				best, bestP = i, p
+			}
+		}
+		out[t] = best
+	}
+	return out, nil
+}
+
+// StationaryOf returns the stationary distribution of the model's hidden
+// chain via power iteration on A (nil when iteration does not converge,
+// e.g. for periodic chains).
+func (m *Model) StationaryOf(maxIter int, tol float64) []float64 {
+	n := m.States()
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				next[j] += pi[i] * m.A.At(i, j)
+			}
+		}
+		var delta float64
+		for j := range next {
+			delta += math.Abs(next[j] - pi[j])
+		}
+		copy(pi, next)
+		if delta < tol {
+			return pi
+		}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustOnline(t *testing.T) *Online {
+	t.Helper()
+	o, err := NewOnline(0.9, 0.9)
+	if err != nil {
+		t.Fatalf("NewOnline: %v", err)
+	}
+	return o
+}
+
+func TestNewOnlineValidation(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 0.5}, {1, 0.5}, {0.5, 0}, {0.5, 1}} {
+		if _, err := NewOnline(bad[0], bad[1]); err == nil {
+			t.Errorf("NewOnline(%v,%v) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestObserveBuildsIdentityLikeModel(t *testing.T) {
+	o := mustOnline(t)
+	// A clean system: hidden state always emits the symbol with its own ID.
+	seq := []int{0, 0, 1, 1, 2, 2, 0, 0}
+	for _, s := range seq {
+		o.Observe(s, s)
+	}
+	snap := o.Snapshot()
+	if len(snap.HiddenIDs) != 3 || len(snap.SymbolIDs) != 3 {
+		t.Fatalf("alphabet = %v / %v, want 3 hidden and 3 symbols", snap.HiddenIDs, snap.SymbolIDs)
+	}
+	// B must be strongly diagonal: each state emitted only its own symbol.
+	for i := range snap.HiddenIDs {
+		for j := range snap.SymbolIDs {
+			got := snap.B.At(i, j)
+			if i == j && got < 0.9 {
+				t.Errorf("B[%d][%d] = %v, want near 1", i, j, got)
+			}
+			if i != j && got > 0.1 {
+				t.Errorf("B[%d][%d] = %v, want near 0", i, j, got)
+			}
+		}
+	}
+	if o.Steps() != len(seq) {
+		t.Errorf("Steps = %d, want %d", o.Steps(), len(seq))
+	}
+}
+
+func TestMatricesStayStochastic(t *testing.T) {
+	o := mustOnline(t)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		o.Observe(rng.Intn(6), rng.Intn(8))
+	}
+	snap := o.Snapshot()
+	if !snap.A.IsRowStochastic(1e-9, false) {
+		t.Errorf("A lost stochasticity:\n%v", snap.A)
+	}
+	if !snap.B.IsRowStochastic(1e-9, false) {
+		t.Errorf("B lost stochasticity:\n%v", snap.B)
+	}
+}
+
+// Property: stochasticity is preserved under arbitrary interleavings of
+// Observe, MergeHidden, and MergeSymbol.
+func TestStochasticUnderChurnProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o, err := NewOnline(0.5, 0.5)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				ids := o.HiddenIDs()
+				if len(ids) >= 2 {
+					i, j := rng.Intn(len(ids)), rng.Intn(len(ids))
+					if i != j {
+						if err := o.MergeHidden(ids[i], ids[j]); err != nil {
+							return false
+						}
+					}
+				}
+			case 1:
+				ids := o.SymbolIDs()
+				if len(ids) >= 2 {
+					i, j := rng.Intn(len(ids)), rng.Intn(len(ids))
+					if i != j {
+						if err := o.MergeSymbol(ids[i], ids[j]); err != nil {
+							return false
+						}
+					}
+				}
+			default:
+				o.Observe(rng.Intn(8), rng.Intn(10))
+			}
+			snap := o.Snapshot()
+			if !snap.A.IsRowStochastic(1e-6, false) {
+				return false
+			}
+			// B rows can momentarily be empty only for never-visited
+			// states; allowEmpty covers them.
+			if !snap.B.IsRowStochastic(1e-6, true) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitionLearning(t *testing.T) {
+	o := mustOnline(t)
+	// Deterministic cycle 0 -> 1 -> 0 -> 1 ... A must concentrate mass on
+	// the cross transitions.
+	for i := 0; i < 40; i++ {
+		o.Observe(i%2, i%2)
+	}
+	snap := o.Snapshot()
+	i0, err := snap.HiddenIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, err := snap.HiddenIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.A.At(i0, i1); got < 0.9 {
+		t.Errorf("A[0][1] = %v, want near 1", got)
+	}
+	if got := snap.A.At(i1, i0); got < 0.9 {
+		t.Errorf("A[1][0] = %v, want near 1", got)
+	}
+}
+
+func TestSelfTransitionsDoNotUpdateA(t *testing.T) {
+	o := mustOnline(t)
+	o.Observe(0, 0)
+	o.Observe(1, 1) // transition 0->1
+	before := o.Snapshot()
+	o.Observe(1, 1) // self transition: A must not change
+	after := o.Snapshot()
+	for i := 0; i < before.A.Rows(); i++ {
+		for j := 0; j < before.A.Cols(); j++ {
+			if math.Abs(before.A.At(i, j)-after.A.At(i, j)) > 1e-12 {
+				t.Fatalf("A changed on self transition at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMergeHiddenFoldsVisits(t *testing.T) {
+	o := mustOnline(t)
+	o.Observe(0, 0)
+	o.Observe(0, 0)
+	o.Observe(1, 1)
+	if err := o.MergeHidden(0, 1); err != nil {
+		t.Fatalf("MergeHidden: %v", err)
+	}
+	if got := o.Visits(0); got != 3 {
+		t.Errorf("merged visits = %v, want 3", got)
+	}
+	if got := len(o.HiddenIDs()); got != 1 {
+		t.Errorf("hidden count = %d, want 1", got)
+	}
+	// prev pointer must have been redirected: the next observation of a
+	// new state records a transition out of 0, not the vanished 1.
+	o.Observe(2, 2)
+	snap := o.Snapshot()
+	i0, _ := snap.HiddenIndex(0)
+	i2, _ := snap.HiddenIndex(2)
+	if got := snap.A.At(i0, i2); got < 0.5 {
+		t.Errorf("A[0][2] = %v, want transition mass after merge redirect", got)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	o := mustOnline(t)
+	o.Observe(0, 0)
+	if err := o.MergeHidden(0, 99); err == nil {
+		t.Error("merge with unknown source accepted")
+	}
+	if err := o.MergeHidden(99, 0); err == nil {
+		t.Error("merge with unknown target accepted")
+	}
+	if err := o.MergeSymbol(0, 99); err == nil {
+		t.Error("symbol merge with unknown source accepted")
+	}
+	if err := o.MergeSymbol(99, 0); err == nil {
+		t.Error("symbol merge with unknown target accepted")
+	}
+	if err := o.MergeHidden(0, 0); err != nil {
+		t.Errorf("self merge should be a no-op, got %v", err)
+	}
+}
+
+func TestMergeSymbolFoldsEmissions(t *testing.T) {
+	o := mustOnline(t)
+	o.Observe(0, 10)
+	o.Observe(0, 11)
+	if err := o.MergeSymbol(10, 11); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Emissions(10); got != 2 {
+		t.Errorf("merged emissions = %v, want 2", got)
+	}
+	snap := o.Snapshot()
+	if len(snap.SymbolIDs) != 1 {
+		t.Fatalf("symbols = %v, want just 10", snap.SymbolIDs)
+	}
+	if !snap.B.IsRowStochastic(1e-9, false) {
+		t.Errorf("B not stochastic after symbol merge:\n%v", snap.B)
+	}
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	o := mustOnline(t)
+	// Register out of order; snapshot must sort by ID.
+	o.Observe(5, 7)
+	o.Observe(2, 3)
+	snap := o.Snapshot()
+	if snap.HiddenIDs[0] != 2 || snap.HiddenIDs[1] != 5 {
+		t.Errorf("HiddenIDs = %v, want [2 5]", snap.HiddenIDs)
+	}
+	if snap.SymbolIDs[0] != 3 || snap.SymbolIDs[1] != 7 {
+		t.Errorf("SymbolIDs = %v, want [3 7]", snap.SymbolIDs)
+	}
+	if _, err := snap.HiddenIndex(42); err == nil {
+		t.Error("HiddenIndex(42) succeeded")
+	}
+	if _, err := snap.SymbolIndex(42); err == nil {
+		t.Error("SymbolIndex(42) succeeded")
+	}
+}
+
+func TestEnsureSymbolLateRegistration(t *testing.T) {
+	// A hidden state registered before its own-ID symbol must regain the
+	// identity emission once the symbol appears (pre-visit only).
+	o := mustOnline(t)
+	o.EnsureHidden(4)
+	o.EnsureSymbol(4)
+	snap := o.Snapshot()
+	i, _ := snap.HiddenIndex(4)
+	j, _ := snap.SymbolIndex(4)
+	if got := snap.B.At(i, j); got != 1 {
+		t.Errorf("identity emission after late symbol registration = %v, want 1", got)
+	}
+}
+
+func TestStuckAtSignatureForms(t *testing.T) {
+	// Emulate M_CE for a stuck-at sensor: whatever the hidden state, the
+	// sensor emits the stuck symbol 100. B must develop a single dominant
+	// column — the Eq. (7) signature.
+	o := mustOnline(t)
+	hidden := []int{0, 1, 2, 3, 0, 1, 2, 3, 1, 2}
+	for _, h := range hidden {
+		o.Observe(h, 100)
+	}
+	snap := o.Snapshot()
+	col, ok := snap.B.AllOnesColumn(nil, 0.5)
+	if !ok {
+		t.Fatalf("stuck-at column did not form:\n%v", snap.B)
+	}
+	if snap.SymbolIDs[col] != 100 {
+		t.Errorf("stuck column = symbol %d, want 100", snap.SymbolIDs[col])
+	}
+}

@@ -1,0 +1,117 @@
+package network
+
+import (
+	"errors"
+	"time"
+
+	"sensorguard/internal/sensor"
+)
+
+// Window is one completed observation set O_i (Eq. 1): all messages whose
+// timestamps fall in [w·(i-1), w·i).
+type Window struct {
+	// Index is the window ordinal i (0-based).
+	Index int
+	// Start and End bound the window.
+	Start, End time.Duration
+	// Readings are the delivered messages in arrival order.
+	Readings []sensor.Reading
+}
+
+// Windower partitions a time-ordered message stream into fixed-duration
+// windows. Late (out-of-order across a window boundary) messages are dropped
+// and counted, mirroring a collector that has already closed the window.
+type Windower struct {
+	width   time.Duration
+	current int
+	open    []sensor.Reading
+	started bool
+	late    int
+}
+
+// NewWindower builds a windower with the given window duration w.
+func NewWindower(width time.Duration) (*Windower, error) {
+	if width <= 0 {
+		return nil, errors.New("network: window width must be positive")
+	}
+	return &Windower{width: width}, nil
+}
+
+// Add folds one message in. When the message opens a later window, every
+// window between the previously open one and the new one is emitted (in
+// order, possibly empty) and returned.
+func (w *Windower) Add(r sensor.Reading) []Window {
+	idx := int(r.Time / w.width)
+	if !w.started {
+		w.started = true
+		w.current = idx
+	}
+	switch {
+	case idx == w.current:
+		w.open = append(w.open, r)
+		return nil
+	case idx < w.current:
+		w.late++
+		return nil
+	}
+	out := w.flushUpTo(idx)
+	w.open = append(w.open, r)
+	return out
+}
+
+// flushUpTo emits all windows from current up to (but excluding) idx and
+// makes idx the open window.
+func (w *Windower) flushUpTo(idx int) []Window {
+	var out []Window
+	out = append(out, w.makeWindow(w.current, w.open))
+	for i := w.current + 1; i < idx; i++ {
+		out = append(out, w.makeWindow(i, nil))
+	}
+	w.current = idx
+	w.open = nil
+	return out
+}
+
+func (w *Windower) makeWindow(idx int, readings []sensor.Reading) Window {
+	return Window{
+		Index:    idx,
+		Start:    time.Duration(idx) * w.width,
+		End:      time.Duration(idx+1) * w.width,
+		Readings: readings,
+	}
+}
+
+// Flush emits the currently open window, if any.
+func (w *Windower) Flush() *Window {
+	if !w.started {
+		return nil
+	}
+	win := w.makeWindow(w.current, w.open)
+	w.open = nil
+	w.started = false
+	return &win
+}
+
+// Late returns the number of messages dropped for arriving after their
+// window closed.
+func (w *Windower) Late() int { return w.late }
+
+// WindowAll is a convenience that sorts a complete message trace and
+// partitions it into windows, flushing the final partial window.
+func WindowAll(readings []sensor.Reading, width time.Duration) ([]Window, error) {
+	wd, err := NewWindower(width)
+	if err != nil {
+		return nil, err
+	}
+	sorted := make([]sensor.Reading, len(readings))
+	copy(sorted, readings)
+	SortReadings(sorted)
+	var out []Window
+	for _, r := range sorted {
+		out = append(out, wd.Add(r)...)
+	}
+	if last := wd.Flush(); last != nil {
+		out = append(out, *last)
+	}
+	return out, nil
+}

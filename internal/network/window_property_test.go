@@ -1,0 +1,100 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+// Property: for any random (possibly out-of-order) message stream, WindowAll
+// (a) loses no reading, (b) places every reading inside its window's bounds,
+// and (c) emits windows in strictly increasing index order with consistent
+// bounds.
+func TestWindowAllInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := time.Duration(1+rng.Intn(120)) * time.Minute
+		n := rng.Intn(300)
+		msgs := make([]sensor.Reading, n)
+		for i := range msgs {
+			msgs[i] = sensor.Reading{
+				Sensor: rng.Intn(10),
+				Time:   time.Duration(rng.Int63n(int64(48 * time.Hour))),
+				Values: vecmat.Vector{rng.Float64()},
+			}
+		}
+		windows, err := WindowAll(msgs, width)
+		if err != nil {
+			return false
+		}
+		total := 0
+		prevIdx := -1 << 62
+		for _, w := range windows {
+			if w.Index <= prevIdx {
+				return false // not strictly increasing
+			}
+			prevIdx = w.Index
+			if w.End-w.Start != width {
+				return false
+			}
+			if w.Start != time.Duration(w.Index)*width {
+				return false
+			}
+			for _, r := range w.Readings {
+				if r.Time < w.Start || r.Time >= w.End {
+					return false
+				}
+			}
+			total += len(w.Readings)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the in-order Windower drops exactly the late messages and keeps
+// everything else.
+func TestWindowerConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wd, err := NewWindower(time.Hour)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(200)
+		kept, late := 0, 0
+		highWater := time.Duration(-1)
+		var emitted int
+		for i := 0; i < n; i++ {
+			// Mostly increasing times with occasional regressions.
+			tt := time.Duration(rng.Int63n(int64(24 * time.Hour)))
+			r := sensor.Reading{Sensor: 0, Time: tt, Values: vecmat.Vector{1}}
+			windowOfT := int(tt / time.Hour)
+			windowHigh := int(highWater / time.Hour)
+			if highWater >= 0 && windowOfT < windowHigh {
+				late++
+			} else {
+				kept++
+				if tt > highWater {
+					highWater = tt
+				}
+			}
+			for _, w := range wd.Add(r) {
+				emitted += len(w.Readings)
+			}
+		}
+		if last := wd.Flush(); last != nil {
+			emitted += len(last.Readings)
+		}
+		return emitted == kept && wd.Late() == late
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

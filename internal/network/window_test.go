@@ -1,0 +1,113 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+func r(sensorID int, t time.Duration) sensor.Reading {
+	return sensor.Reading{Sensor: sensorID, Time: t, Values: vecmat.Vector{1}}
+}
+
+func TestNewWindowerValidation(t *testing.T) {
+	if _, err := NewWindower(0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewWindower(time.Hour); err != nil {
+		t.Errorf("valid width rejected: %v", err)
+	}
+}
+
+func TestWindowerGroupsByWindow(t *testing.T) {
+	w, err := NewWindower(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := w.Add(r(0, 10*time.Minute)); out != nil {
+		t.Errorf("premature emit: %v", out)
+	}
+	if out := w.Add(r(1, 50*time.Minute)); out != nil {
+		t.Errorf("premature emit: %v", out)
+	}
+	out := w.Add(r(0, 70*time.Minute))
+	if len(out) != 1 {
+		t.Fatalf("emitted %d windows, want 1", len(out))
+	}
+	win := out[0]
+	if win.Index != 0 || win.Start != 0 || win.End != time.Hour {
+		t.Errorf("window bounds = %+v", win)
+	}
+	if len(win.Readings) != 2 {
+		t.Errorf("window holds %d readings, want 2", len(win.Readings))
+	}
+	last := w.Flush()
+	if last == nil || last.Index != 1 || len(last.Readings) != 1 {
+		t.Errorf("flush = %+v", last)
+	}
+	if w.Flush() != nil {
+		t.Error("double flush emitted a window")
+	}
+}
+
+func TestWindowerEmitsEmptyGapWindows(t *testing.T) {
+	w, _ := NewWindower(time.Hour)
+	w.Add(r(0, 0))
+	out := w.Add(r(0, 3*time.Hour+time.Minute))
+	if len(out) != 3 {
+		t.Fatalf("emitted %d windows, want 3 (one full, two empty)", len(out))
+	}
+	if len(out[0].Readings) != 1 || len(out[1].Readings) != 0 || len(out[2].Readings) != 0 {
+		t.Errorf("gap windows malformed: %v", out)
+	}
+	if out[1].Index != 1 || out[2].Index != 2 {
+		t.Errorf("gap indices = %d,%d", out[1].Index, out[2].Index)
+	}
+}
+
+func TestWindowerDropsLateMessages(t *testing.T) {
+	w, _ := NewWindower(time.Hour)
+	w.Add(r(0, 2*time.Hour))
+	if out := w.Add(r(1, 30*time.Minute)); out != nil {
+		t.Errorf("late message emitted windows: %v", out)
+	}
+	if w.Late() != 1 {
+		t.Errorf("Late = %d, want 1", w.Late())
+	}
+	last := w.Flush()
+	if len(last.Readings) != 1 {
+		t.Errorf("late message leaked into window: %+v", last)
+	}
+}
+
+func TestWindowerFirstWindowNotZero(t *testing.T) {
+	w, _ := NewWindower(time.Hour)
+	w.Add(r(0, 5*time.Hour))
+	win := w.Flush()
+	if win.Index != 5 {
+		t.Errorf("first window index = %d, want 5", win.Index)
+	}
+}
+
+func TestWindowAll(t *testing.T) {
+	msgs := []sensor.Reading{
+		r(0, 70*time.Minute), // out of order on purpose
+		r(1, 10*time.Minute),
+		r(0, 20*time.Minute),
+	}
+	wins, err := WindowAll(msgs, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 2 {
+		t.Fatalf("windows = %d, want 2", len(wins))
+	}
+	if len(wins[0].Readings) != 2 || len(wins[1].Readings) != 1 {
+		t.Errorf("window sizes = %d,%d", len(wins[0].Readings), len(wins[1].Readings))
+	}
+	if _, err := WindowAll(msgs, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Package sensor models the multimodal sensor devices of §3.1: each device j
+// periodically samples the environment Θ(t) and reports p_j = Θ(t) + N_j,
+// where N_j is zero-mean measurement noise. The Reading type defined here is
+// the ⟨t, p⟩ message every other layer of the system exchanges.
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sensorguard/internal/vecmat"
+)
+
+// Reading is one sensor message ⟨t, p⟩: the time the sample was taken and
+// the vector of sampled environment attributes.
+type Reading struct {
+	// Sensor identifies the reporting device.
+	Sensor int
+	// Time is the elapsed time since deployment at which the sample was
+	// taken.
+	Time time.Duration
+	// Values is the sampled attribute vector p = ⟨x_1..x_n⟩.
+	Values vecmat.Vector
+}
+
+// Clone returns a deep copy of the reading.
+func (r Reading) Clone() Reading {
+	return Reading{Sensor: r.Sensor, Time: r.Time, Values: r.Values.Clone()}
+}
+
+// Range is an admissible interval for one attribute (e.g. [0,100] for
+// relative humidity). The paper keeps even malicious values inside
+// admissible ranges, since out-of-range values are trivially caught by range
+// checking.
+type Range struct {
+	Lo, Hi float64
+}
+
+// Clamp restricts v to the range.
+func (r Range) Clamp(v float64) float64 {
+	if v < r.Lo {
+		return r.Lo
+	}
+	if v > r.Hi {
+		return r.Hi
+	}
+	return v
+}
+
+// Contains reports whether v lies inside the range.
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
+// ClampVector restricts each component of p to the corresponding range.
+// Extra components (beyond the ranges given) pass through unchanged.
+func ClampVector(p vecmat.Vector, ranges []Range) vecmat.Vector {
+	out := p.Clone()
+	for i := range out {
+		if i < len(ranges) {
+			out[i] = ranges[i].Clamp(out[i])
+		}
+	}
+	return out
+}
+
+// Device is one sensor node's sensing element.
+type Device struct {
+	id     int
+	noise  []float64 // per-attribute noise standard deviation
+	ranges []Range   // per-attribute admissible ranges (optional)
+	rng    *rand.Rand
+}
+
+// NewDevice builds a device with per-attribute noise standard deviations and
+// optional admissible ranges (nil disables clamping; otherwise one Range per
+// attribute). seed makes the device's noise stream reproducible.
+func NewDevice(id int, noise []float64, ranges []Range, seed int64) (*Device, error) {
+	if len(noise) == 0 {
+		return nil, errors.New("sensor: device needs at least one attribute")
+	}
+	for i, s := range noise {
+		if s < 0 {
+			return nil, fmt.Errorf("sensor: negative noise sigma %v for attribute %d", s, i)
+		}
+	}
+	if ranges != nil && len(ranges) != len(noise) {
+		return nil, fmt.Errorf("sensor: %d ranges for %d attributes", len(ranges), len(noise))
+	}
+	return &Device{
+		id:     id,
+		noise:  append([]float64(nil), noise...),
+		ranges: append([]Range(nil), ranges...),
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// ID returns the device identifier.
+func (d *Device) ID() int { return d.id }
+
+// Dim returns the number of attributes the device measures.
+func (d *Device) Dim() int { return len(d.noise) }
+
+// Sample measures the environment truth at time t: p = truth + N, clamped to
+// the admissible ranges when configured.
+func (d *Device) Sample(t time.Duration, truth vecmat.Vector) (Reading, error) {
+	if len(truth) != len(d.noise) {
+		return Reading{}, fmt.Errorf("sensor: truth has %d attributes, device measures %d: %w",
+			len(truth), len(d.noise), vecmat.ErrDimensionMismatch)
+	}
+	p := make(vecmat.Vector, len(truth))
+	for i := range truth {
+		p[i] = truth[i] + d.rng.NormFloat64()*d.noise[i]
+		if d.ranges != nil {
+			p[i] = d.ranges[i].Clamp(p[i])
+		}
+	}
+	return Reading{Sensor: d.id, Time: t, Values: p}, nil
+}

@@ -1,0 +1,124 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sensorguard/internal/stats"
+	"sensorguard/internal/vecmat"
+)
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(0, nil, nil, 1); err == nil {
+		t.Error("zero attributes accepted")
+	}
+	if _, err := NewDevice(0, []float64{-1}, nil, 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := NewDevice(0, []float64{1, 1}, []Range{{0, 1}}, 1); err == nil {
+		t.Error("range/attribute count mismatch accepted")
+	}
+	d, err := NewDevice(3, []float64{0.5}, nil, 1)
+	if err != nil {
+		t.Fatalf("valid device rejected: %v", err)
+	}
+	if d.ID() != 3 || d.Dim() != 1 {
+		t.Errorf("ID/Dim = %d/%d", d.ID(), d.Dim())
+	}
+}
+
+func TestSampleNoiseIsZeroMean(t *testing.T) {
+	d, err := NewDevice(0, []float64{2, 0}, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := vecmat.Vector{20, 80}
+	var r0 stats.Running
+	for i := 0; i < 5000; i++ {
+		r, err := d.Sample(time.Duration(i)*time.Minute, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r0.Add(r.Values[0])
+		if r.Values[1] != 80 {
+			t.Fatalf("zero-noise attribute perturbed: %v", r.Values[1])
+		}
+		if r.Sensor != 0 {
+			t.Fatalf("sensor id = %d", r.Sensor)
+		}
+	}
+	if math.Abs(r0.Mean()-20) > 0.2 {
+		t.Errorf("noisy attribute mean = %v, want ≈20", r0.Mean())
+	}
+	if math.Abs(r0.StdDev()-2) > 0.2 {
+		t.Errorf("noisy attribute stddev = %v, want ≈2", r0.StdDev())
+	}
+}
+
+func TestSampleClampsToRanges(t *testing.T) {
+	d, err := NewDevice(0, []float64{50}, []Range{{Lo: 0, Hi: 100}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		r, err := d.Sample(0, vecmat.Vector{50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Values[0] < 0 || r.Values[0] > 100 {
+			t.Fatalf("clamped sample escaped range: %v", r.Values[0])
+		}
+	}
+}
+
+func TestSampleDimensionMismatch(t *testing.T) {
+	d, _ := NewDevice(0, []float64{1}, nil, 1)
+	if _, err := d.Sample(0, vecmat.Vector{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSampleDeterministicPerSeed(t *testing.T) {
+	mk := func() []float64 {
+		d, _ := NewDevice(0, []float64{1}, nil, 99)
+		out := make([]float64, 10)
+		for i := range out {
+			r, _ := d.Sample(0, vecmat.Vector{0})
+			out[i] = r.Values[0]
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different noise streams")
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Range{Lo: 0, Hi: 100}
+	if r.Clamp(-5) != 0 || r.Clamp(105) != 100 || r.Clamp(50) != 50 {
+		t.Error("Clamp misbehaves")
+	}
+	if !r.Contains(0) || !r.Contains(100) || r.Contains(-1) || r.Contains(101) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestClampVector(t *testing.T) {
+	got := ClampVector(vecmat.Vector{-5, 120, 7}, []Range{{0, 100}, {0, 100}})
+	if got[0] != 0 || got[1] != 100 || got[2] != 7 {
+		t.Errorf("ClampVector = %v", got)
+	}
+}
+
+func TestReadingClone(t *testing.T) {
+	r := Reading{Sensor: 1, Time: time.Second, Values: vecmat.Vector{1, 2}}
+	c := r.Clone()
+	c.Values[0] = 99
+	if r.Values[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}

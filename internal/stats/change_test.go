@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewSPRTValidation(t *testing.T) {
+	cases := []struct {
+		name                string
+		p0, p1, alpha, beta float64
+	}{
+		{"p0 zero", 0, 0.5, 0.01, 0.01},
+		{"p0 >= p1", 0.5, 0.5, 0.01, 0.01},
+		{"p1 one", 0.1, 1, 0.01, 0.01},
+		{"alpha zero", 0.1, 0.5, 0, 0.01},
+		{"beta one", 0.1, 0.5, 0.01, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewSPRT(tc.p0, tc.p1, tc.alpha, tc.beta); err == nil {
+				t.Error("invalid SPRT parameters accepted")
+			}
+		})
+	}
+	if _, err := NewSPRT(0.02, 0.5, 0.01, 0.01); err != nil {
+		t.Errorf("valid parameters rejected: %v", err)
+	}
+}
+
+func TestSPRTDetectsPersistentAlarms(t *testing.T) {
+	s, err := NewSPRT(0.02, 0.6, 0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decision
+	steps := 0
+	for dec != AcceptH1 && steps < 100 {
+		dec = s.Observe(true)
+		steps++
+	}
+	if dec != AcceptH1 {
+		t.Fatalf("SPRT never accepted H1 on a solid alarm stream")
+	}
+	if steps > 10 {
+		t.Errorf("SPRT took %d steps to flag a solid alarm stream", steps)
+	}
+	if s.Evidence() != 0 {
+		t.Errorf("evidence after decision = %v, want reset to 0", s.Evidence())
+	}
+}
+
+func TestSPRTAcceptsHealthyStream(t *testing.T) {
+	s, err := NewSPRT(0.02, 0.6, 0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decision
+	for i := 0; i < 100 && dec != AcceptH0; i++ {
+		dec = s.Observe(false)
+	}
+	if dec != AcceptH0 {
+		t.Error("SPRT never accepted H0 on an alarm-free stream")
+	}
+}
+
+func TestSPRTFalseAlarmRate(t *testing.T) {
+	// Healthy stream with p0-rate noise: H1 acceptances should be rare.
+	s, err := NewSPRT(0.02, 0.6, 0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	h1 := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Observe(rng.Float64() < 0.02) == AcceptH1 {
+			h1++
+		}
+	}
+	// With alpha=0.01 per test and repeated restarts, H1 acceptances must
+	// remain a small fraction of the restarts (~n/expected-run-length).
+	if h1 > 25 {
+		t.Errorf("too many false H1 acceptances: %d in %d steps", h1, n)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Continue.String() != "continue" || AcceptH0.String() != "accept-h0" || AcceptH1.String() != "accept-h1" {
+		t.Error("Decision.String mismatch")
+	}
+	if Decision(0).String() != "unknown" {
+		t.Error("zero Decision should stringify to unknown")
+	}
+}
+
+func TestNewCUSUMValidation(t *testing.T) {
+	if _, err := NewCUSUM(0.5, 0.5, 3); err == nil {
+		t.Error("p0 >= p1 accepted")
+	}
+	if _, err := NewCUSUM(0.1, 0.5, 0); err == nil {
+		t.Error("non-positive threshold accepted")
+	}
+	if _, err := NewCUSUM(0.02, 0.6, 4); err != nil {
+		t.Errorf("valid parameters rejected: %v", err)
+	}
+}
+
+func TestCUSUMDetectsChange(t *testing.T) {
+	c, err := NewCUSUM(0.02, 0.6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	// Pre-change: healthy noise must trip the detector only rarely.
+	trips := 0
+	for i := 0; i < 2000; i++ {
+		if c.Observe(rng.Float64() < 0.02) {
+			trips++
+		}
+	}
+	if trips > 2 {
+		t.Fatalf("CUSUM tripped %d times on healthy noise", trips)
+	}
+	c.Reset()
+	// Post-change: persistent alarms must trip quickly.
+	tripped := -1
+	for i := 0; i < 50; i++ {
+		if c.Observe(true) {
+			tripped = i
+			break
+		}
+	}
+	if tripped < 0 {
+		t.Fatal("CUSUM never tripped after the change")
+	}
+	if tripped > 10 {
+		t.Errorf("CUSUM detection delay = %d steps, want quick detection", tripped)
+	}
+	if c.Statistic() != 0 {
+		t.Errorf("statistic after detection = %v, want 0", c.Statistic())
+	}
+}
+
+func TestCUSUMStatisticNonNegativeProperty(t *testing.T) {
+	c, err := NewCUSUM(0.05, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		c.Observe(rng.Float64() < 0.3)
+		if c.Statistic() < 0 {
+			t.Fatalf("statistic went negative at step %d: %v", i, c.Statistic())
+		}
+	}
+}
+
+func TestCUSUMReset(t *testing.T) {
+	c, _ := NewCUSUM(0.02, 0.6, 100)
+	for i := 0; i < 5; i++ {
+		c.Observe(true)
+	}
+	if c.Statistic() == 0 {
+		t.Fatal("statistic did not accumulate")
+	}
+	c.Reset()
+	if c.Statistic() != 0 {
+		t.Error("Reset did not clear statistic")
+	}
+}

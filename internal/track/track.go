@@ -1,0 +1,131 @@
+// Package track implements the paper's Error/Attack Track Management module
+// (§3.1): a separate error/attack track e^k per sensor, opened when the
+// sensor's filtered alarm raises and closed when it clears. While a track is
+// open, each window records the erroneous state the sensor mapped to, or the
+// fictitious ⊥ state when the sensor happened to agree with the correct
+// sensors that window.
+package track
+
+import "sort"
+
+// Bottom is the fictitious ⊥ observation symbol: a tracked sensor producing
+// data in agreement with the correct sensors. It is negative so it can never
+// collide with a clusterer state ID.
+const Bottom = -1
+
+// Track is one error/attack track: the per-window symbol history of a
+// suspect sensor.
+type Track struct {
+	// Sensor is the tracked sensor.
+	Sensor int
+	// Opened is the window index at which the track opened.
+	Opened int
+	// Closed is the window index at which the track closed, or -1 while
+	// the track is active.
+	Closed int
+	// Symbols is the per-window error/attack state sequence e_i (state
+	// IDs, or Bottom).
+	Symbols []int
+	// Hidden is the per-window correct environment state c_i aligned with
+	// Symbols, so the M_CE estimator can be replayed from the track.
+	Hidden []int
+}
+
+// Active reports whether the track is still open.
+func (t *Track) Active() bool { return t.Closed < 0 }
+
+// Len returns the number of recorded windows.
+func (t *Track) Len() int { return len(t.Symbols) }
+
+// Manager owns the per-sensor track lifecycle.
+type Manager struct {
+	active map[int]*Track
+	closed []*Track
+	opened int
+}
+
+// NewManager returns an empty track manager.
+func NewManager() *Manager {
+	return &Manager{active: make(map[int]*Track)}
+}
+
+// Observe folds in one window for one sensor. filtered is the sensor's
+// filtered alarm level this window; mapped is the state the sensor's
+// observation mapped to (l_j) and correct the correct environment state
+// (c_i).
+//
+// It returns the sensor's track and the error symbol recorded this window;
+// recorded is false when the sensor has no active track (and none was
+// opened), in which case symbol is meaningless.
+func (m *Manager) Observe(window, sensorID int, filtered bool, mapped, correct int) (tr *Track, symbol int, recorded bool) {
+	tr = m.active[sensorID]
+	if tr == nil {
+		if !filtered {
+			return nil, 0, false
+		}
+		tr = &Track{Sensor: sensorID, Opened: window, Closed: -1}
+		m.active[sensorID] = tr
+		m.opened++
+	} else if !filtered {
+		tr.Closed = window
+		delete(m.active, sensorID)
+		m.closed = append(m.closed, tr)
+		return tr, 0, false
+	}
+
+	symbol = Bottom
+	if mapped != correct {
+		symbol = mapped
+	}
+	tr.Symbols = append(tr.Symbols, symbol)
+	tr.Hidden = append(tr.Hidden, correct)
+	return tr, symbol, true
+}
+
+// MergeState rewrites every recorded occurrence of state from to state into
+// across all tracks, mirroring a model-state merge in the clusterer.
+func (m *Manager) MergeState(into, from int) {
+	rewrite := func(t *Track) {
+		for i := range t.Symbols {
+			if t.Symbols[i] == from {
+				t.Symbols[i] = into
+			}
+		}
+		for i := range t.Hidden {
+			if t.Hidden[i] == from {
+				t.Hidden[i] = into
+			}
+		}
+	}
+	for _, t := range m.active {
+		rewrite(t)
+	}
+	for _, t := range m.closed {
+		rewrite(t)
+	}
+}
+
+// Active returns the open track for a sensor, if any.
+func (m *Manager) Active(sensorID int) (*Track, bool) {
+	t, ok := m.active[sensorID]
+	return t, ok
+}
+
+// ActiveTracks returns all open tracks, ordered by sensor ID.
+func (m *Manager) ActiveTracks() []*Track {
+	out := make([]*Track, 0, len(m.active))
+	for _, t := range m.active {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sensor < out[j].Sensor })
+	return out
+}
+
+// ClosedTracks returns all closed tracks in closing order.
+func (m *Manager) ClosedTracks() []*Track {
+	return append([]*Track(nil), m.closed...)
+}
+
+// Opened returns the total number of tracks ever opened (the paper indexes
+// new tracks by this count).
+func (m *Manager) Opened() int { return m.opened }

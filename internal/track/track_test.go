@@ -1,0 +1,112 @@
+package track
+
+import "testing"
+
+func TestTrackLifecycle(t *testing.T) {
+	m := NewManager()
+
+	// No filtered alarm: no track.
+	if _, _, recorded := m.Observe(0, 6, false, 3, 1); recorded {
+		t.Error("recorded without a track")
+	}
+	if _, ok := m.Active(6); ok {
+		t.Error("track open without alarm")
+	}
+
+	// Filtered alarm opens a track and records the first symbol.
+	tr, sym, recorded := m.Observe(1, 6, true, 3, 1)
+	if !recorded || tr == nil {
+		t.Fatal("track did not open on filtered alarm")
+	}
+	if tr.Opened != 1 || !tr.Active() {
+		t.Errorf("track = %+v", tr)
+	}
+	if sym != 3 {
+		t.Errorf("symbol = %d, want mapped state 3", sym)
+	}
+
+	// Agreement with the correct state records ⊥.
+	_, sym, recorded = m.Observe(2, 6, true, 1, 1)
+	if !recorded || sym != Bottom {
+		t.Errorf("agreement symbol = %d, want Bottom", sym)
+	}
+
+	// Cleared alarm closes the track.
+	tr2, _, recorded := m.Observe(3, 6, false, 1, 1)
+	if recorded {
+		t.Error("recorded a symbol on the closing step")
+	}
+	if tr2.Active() || tr2.Closed != 3 {
+		t.Errorf("closed track = %+v", tr2)
+	}
+	if _, ok := m.Active(6); ok {
+		t.Error("track still active after close")
+	}
+	if got := m.ClosedTracks(); len(got) != 1 || got[0].Sensor != 6 {
+		t.Errorf("ClosedTracks = %+v", got)
+	}
+	if tr2.Len() != 2 {
+		t.Errorf("track length = %d, want 2", tr2.Len())
+	}
+	if tr2.Hidden[0] != 1 || tr2.Hidden[1] != 1 {
+		t.Errorf("hidden history = %v", tr2.Hidden)
+	}
+}
+
+func TestReopenCountsAsNewTrack(t *testing.T) {
+	m := NewManager()
+	m.Observe(0, 4, true, 2, 0)
+	m.Observe(1, 4, false, 0, 0) // close
+	m.Observe(2, 4, true, 2, 0)  // reopen
+	if m.Opened() != 2 {
+		t.Errorf("Opened = %d, want 2", m.Opened())
+	}
+	tr, ok := m.Active(4)
+	if !ok || tr.Opened != 2 {
+		t.Errorf("reopened track = %+v", tr)
+	}
+}
+
+func TestSeparateTracksPerSensor(t *testing.T) {
+	m := NewManager()
+	m.Observe(0, 1, true, 5, 0)
+	m.Observe(0, 2, true, 6, 0)
+	got := m.ActiveTracks()
+	if len(got) != 2 || got[0].Sensor != 1 || got[1].Sensor != 2 {
+		t.Errorf("ActiveTracks = %+v", got)
+	}
+}
+
+func TestMergeStateRewritesHistory(t *testing.T) {
+	m := NewManager()
+	m.Observe(0, 1, true, 5, 2)
+	m.Observe(1, 1, true, 5, 2)
+	m.Observe(2, 2, true, 5, 5) // sensor 2 agrees -> Bottom with hidden 5
+	m.Observe(3, 2, false, 0, 0)
+
+	m.MergeState(4, 5)
+
+	tr, _ := m.Active(1)
+	for _, s := range tr.Symbols {
+		if s == 5 {
+			t.Error("active track still references merged state")
+		}
+	}
+	if tr.Symbols[0] != 4 {
+		t.Errorf("symbols = %v, want rewritten to 4", tr.Symbols)
+	}
+	closed := m.ClosedTracks()[0]
+	if closed.Hidden[0] != 4 {
+		t.Errorf("closed track hidden = %v, want rewritten", closed.Hidden)
+	}
+	// Bottom symbols are never rewritten.
+	if closed.Symbols[0] != Bottom {
+		t.Errorf("closed track symbols = %v", closed.Symbols)
+	}
+}
+
+func TestBottomNeverCollidesWithStates(t *testing.T) {
+	if Bottom >= 0 {
+		t.Error("Bottom must be negative to avoid clusterer state IDs")
+	}
+}

@@ -1,0 +1,111 @@
+// Package sensorguard detects and distinguishes accidental errors from
+// malicious attacks in distributed sensor networks, implementing the
+// methodology of Basile, Gupta, Kalbarczyk and Iyer, "An Approach for
+// Detecting and Distinguishing Errors versus Attacks in Sensor Networks"
+// (DSN 2006).
+//
+// The core idea: a collector node groups sensor observations into time
+// windows and, per window, statistically separates the correct view of the
+// environment (the majority cluster of sensors) from the observable view
+// (the mean over everything, corrupt data included). Two Hidden Markov
+// Models estimated on-line — M_CO relating correct to observable states,
+// and a per-suspect M_CE relating correct states to the suspect's erroneous
+// states — are then analysed *structurally*: attacks warp the
+// correct↔observable correspondence (non-orthogonal rows = Dynamic Deletion,
+// non-orthogonal columns = Dynamic Creation, a displaced one-to-one mapping
+// = Dynamic Change), while errors leave it intact and reveal themselves in
+// M_CE (an all-ones column = Stuck-at, constant attribute ratio =
+// Calibration, constant difference = Additive).
+//
+// # Quick start
+//
+//	states := []sensorguard.Vector{{12, 94}, {17, 84}, {24, 70}, {31, 56}}
+//	det, err := sensorguard.NewDetector(sensorguard.DefaultConfig(states))
+//	if err != nil { ... }
+//	// Feed windowed readings (e.g. from a live collector or a trace):
+//	steps, err := det.ProcessTrace(readings)
+//	report, err := det.Report()
+//	fmt.Println(report.Overall()) // e.g. "stuck-at", "dynamic-creation", "none"
+//
+// The package also ships a complete simulation substrate (environment model,
+// sensor devices, lossy network, fault injectors, and a compensating
+// adversary) so the methodology can be exercised end-to-end without
+// hardware; see Simulate and GenerateTrace.
+package sensorguard
+
+import (
+	"math/rand"
+
+	"sensorguard/internal/classify"
+	"sensorguard/internal/cluster"
+	"sensorguard/internal/core"
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+// Core detector types, re-exported from the implementation packages.
+type (
+	// Config collects every tunable of the methodology (Table 1 of the
+	// paper plus engineering parameters).
+	Config = core.Config
+	// Detector is the collector-side analysis pipeline (Fig. 1).
+	Detector = core.Detector
+	// Report is the structural diagnosis (Fig. 5).
+	Report = core.Report
+	// StepResult is the per-window outcome.
+	StepResult = core.StepResult
+	// SensorStep is the per-sensor, per-window outcome.
+	SensorStep = core.SensorStep
+	// Reading is one sensor message ⟨t, p⟩.
+	Reading = sensor.Reading
+	// Vector is a point in attribute space.
+	Vector = vecmat.Vector
+	// Kind is a diagnosed error/attack type.
+	Kind = classify.Kind
+	// NetworkDiagnosis is the B^CO attack analysis.
+	NetworkDiagnosis = classify.NetworkDiagnosis
+	// SensorDiagnosis is the per-sensor B^CE error analysis.
+	SensorDiagnosis = classify.SensorDiagnosis
+)
+
+// Diagnosis kinds (see Kind).
+const (
+	KindNone            = classify.KindNone
+	KindStuckAt         = classify.KindStuckAt
+	KindCalibration     = classify.KindCalibration
+	KindAdditive        = classify.KindAdditive
+	KindUnknownError    = classify.KindUnknownError
+	KindDynamicCreation = classify.KindDynamicCreation
+	KindDynamicDeletion = classify.KindDynamicDeletion
+	KindDynamicChange   = classify.KindDynamicChange
+	KindMixed           = classify.KindMixed
+)
+
+// NewDetector builds a detector from the configuration.
+func NewDetector(cfg Config) (*Detector, error) {
+	return core.NewDetector(cfg)
+}
+
+// DefaultConfig returns the paper's Table 1 configuration for the given
+// initial model states.
+func DefaultConfig(initialStates []Vector) Config {
+	return core.DefaultConfig(initialStates)
+}
+
+// InitialStatesFromReadings seeds the model-state set the way the paper's
+// evaluation does: an offline clustering pass (k-means) over historical
+// readings. k is the number of initial states (the paper uses M = 6).
+func InitialStatesFromReadings(readings []Reading, k int, seed int64) ([]Vector, error) {
+	points := make([]vecmat.Vector, len(readings))
+	for i, r := range readings {
+		points[i] = r.Values
+	}
+	return cluster.KMeans(points, k, rand.New(rand.NewSource(seed)), 100)
+}
+
+// RandomInitialStates seeds the model-state set with k random states inside
+// the per-attribute [lo, hi] box — the paper's alternative initialisation
+// (footnote 5).
+func RandomInitialStates(k, dim int, lo, hi float64, seed int64) ([]Vector, error) {
+	return cluster.RandomStates(k, dim, lo, hi, rand.New(rand.NewSource(seed)))
+}

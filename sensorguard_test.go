@@ -1,0 +1,181 @@
+package sensorguard_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sensorguard"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way a
+// downstream user would: generate a trace with a fault, seed initial states
+// by offline clustering, run the detector, and read the diagnosis.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// A two-week GDI-like trace with a stuck sensor.
+	drop := mustPlanWithStuckSensor(t)
+	cfg := sensorguard.DefaultTraceConfig()
+	cfg.Days = 10
+	tr, err := sensorguard.GenerateTrace(cfg, sensorguard.WithFaults(drop))
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+
+	// Offline k-means over the first (fault-free) day seeds M = 6 states,
+	// as in the paper's evaluation.
+	var firstDay []sensorguard.Reading
+	for _, r := range tr.Readings {
+		if r.Time < 24*time.Hour {
+			firstDay = append(firstDay, r)
+		}
+	}
+	states, err := sensorguard.InitialStatesFromReadings(firstDay, 6, 1)
+	if err != nil {
+		t.Fatalf("InitialStatesFromReadings: %v", err)
+	}
+	if len(states) != 6 {
+		t.Fatalf("states = %d, want 6", len(states))
+	}
+
+	det, err := sensorguard.NewDetector(sensorguard.DefaultConfig(states))
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	if _, err := det.ProcessTrace(tr.Readings); err != nil {
+		t.Fatalf("ProcessTrace: %v", err)
+	}
+	rep, err := det.Report()
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if !rep.Detected {
+		t.Fatal("fault not detected through the public API")
+	}
+	diag, ok := rep.Sensors[6]
+	if !ok {
+		t.Fatalf("no diagnosis for sensor 6: %v", rep)
+	}
+	if diag.Kind != sensorguard.KindStuckAt {
+		t.Errorf("sensor 6 kind = %v, want stuck-at", diag.Kind)
+	}
+	if rep.Network.Kind.IsAttack() {
+		t.Errorf("stuck fault reported as attack: %v", rep.Network.Kind)
+	}
+}
+
+func mustPlanWithStuckSensor(t *testing.T) *sensorguard.FaultPlan {
+	t.Helper()
+	plan, err := sensorguard.NewFaultPlan(
+		sensorguard.FaultSchedule{
+			Sensor:   6,
+			Injector: sensorguard.StuckAtFault{Value: sensorguard.Vector{15, 1}},
+			Start:    36 * time.Hour,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestTraceCSVRoundTripPublic(t *testing.T) {
+	cfg := sensorguard.DefaultTraceConfig()
+	cfg.Days = 1
+	tr, err := sensorguard.GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sensorguard.WriteTraceCSV(&buf, tr); err != nil {
+		t.Fatalf("WriteTraceCSV: %v", err)
+	}
+	got, err := sensorguard.ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadTraceCSV: %v", err)
+	}
+	if len(got.Readings) != len(tr.Readings) {
+		t.Errorf("round trip lost readings: %d vs %d", len(got.Readings), len(tr.Readings))
+	}
+}
+
+func TestRandomInitialStatesPublic(t *testing.T) {
+	states, err := sensorguard.RandomInitialStates(6, 2, 0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 6 || len(states[0]) != 2 {
+		t.Errorf("states = %v", states)
+	}
+}
+
+func TestFaultConstructorsPublic(t *testing.T) {
+	if _, err := sensorguard.NewRandomNoiseFault([]float64{5, 10}, 1); err != nil {
+		t.Errorf("NewRandomNoiseFault: %v", err)
+	}
+	if _, err := sensorguard.NewRandomNoiseFault(nil, 1); err == nil {
+		t.Error("empty sigma accepted")
+	}
+	if _, err := sensorguard.NewIntermittentFault(0.5, 1); err != nil {
+		t.Errorf("NewIntermittentFault: %v", err)
+	}
+	if _, err := sensorguard.NewIntermittentFault(1.5, 1); err == nil {
+		t.Error("bad drop rate accepted")
+	}
+}
+
+func TestDetectorDeterminismPublic(t *testing.T) {
+	// Identical configuration + identical input ⇒ identical report JSON.
+	// This is the invariant the event-replay persistence strategy
+	// (docs/TUNING.md §6) rests on.
+	runOnce := func() []byte {
+		plan, err := sensorguard.NewFaultPlan(sensorguard.FaultSchedule{
+			Sensor:   6,
+			Injector: sensorguard.StuckAtFault{Value: sensorguard.Vector{15, 1}},
+			Start:    36 * time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sensorguard.DefaultTraceConfig()
+		cfg.Days = 6
+		tr, err := sensorguard.GenerateTrace(cfg, sensorguard.WithFaults(plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := []sensorguard.Vector{{12, 94}, {17, 84}, {24, 70}, {31, 56}}
+		det, err := sensorguard.NewDetector(sensorguard.DefaultConfig(states))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := det.ProcessTrace(tr.Readings); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := det.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := runOnce(), runOnce()
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs produced different reports")
+	}
+}
+
+func TestPeriodicAttackWindowPublic(t *testing.T) {
+	adv, err := sensorguard.NewAdversary([]int{0}, sensorguard.GDIRanges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &sensorguard.DynamicCreationAttack{Adversary: adv, Target: sensorguard.Vector{20, 50}}
+	if _, err := sensorguard.PeriodicAttackWindow(inner, 24*time.Hour, 0, 3*time.Hour); err != nil {
+		t.Fatalf("PeriodicAttackWindow: %v", err)
+	}
+	if _, err := sensorguard.PeriodicAttackWindow(inner, 0, 0, time.Hour); err == nil {
+		t.Error("invalid gate accepted")
+	}
+}

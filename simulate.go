@@ -1,0 +1,126 @@
+package sensorguard
+
+import (
+	"io"
+	"time"
+
+	"sensorguard/internal/attack"
+	"sensorguard/internal/fault"
+	"sensorguard/internal/gdi"
+	"sensorguard/internal/network"
+	"sensorguard/internal/sensor"
+)
+
+// Simulation substrate types, re-exported so downstream users can exercise
+// the detector without hardware.
+type (
+	// Trace is a time-ordered sensor message trace (CSV-serialisable via
+	// WriteTraceCSV / ReadTraceCSV).
+	Trace = gdi.Trace
+	// TraceConfig parameterises the synthetic GDI-like generator.
+	TraceConfig = gdi.GenerateConfig
+	// DeploymentOption customises a simulated deployment (faults,
+	// attacks).
+	DeploymentOption = network.Option
+
+	// FaultInjector corrupts one sensor's readings.
+	FaultInjector = fault.Injector
+	// FaultSchedule activates an injector on a sensor over an interval.
+	FaultSchedule = fault.Schedule
+	// FaultPlan is a set of fault schedules.
+	FaultPlan = fault.Plan
+
+	// AttackStrategy rewrites malicious sensors' readings each round.
+	AttackStrategy = attack.Strategy
+	// Adversary is the shared attacker state (controlled sensors and
+	// admissible ranges).
+	Adversary = attack.Adversary
+
+	// Range is an admissible interval for one attribute.
+	Range = sensor.Range
+)
+
+// Fault injectors (paper §3.3 sensor fault model).
+type (
+	// StuckAtFault reports a fixed value.
+	StuckAtFault = fault.StuckAt
+	// CalibrationFault multiplies each attribute by a fixed factor.
+	CalibrationFault = fault.Calibration
+	// AdditiveFault offsets each attribute by a fixed amount.
+	AdditiveFault = fault.Additive
+	// DecayToStuckFault degrades toward a floor value and sticks there.
+	DecayToStuckFault = fault.DecayToStuck
+)
+
+// Attack strategies (paper §3.3 sensor attack model).
+type (
+	// DynamicCreationAttack introduces a spurious observable state.
+	DynamicCreationAttack = attack.DynamicCreation
+	// DynamicDeletionAttack hides a valid environment state.
+	DynamicDeletionAttack = attack.DynamicDeletion
+	// DynamicChangeAttack displaces every state by a fixed offset.
+	DynamicChangeAttack = attack.DynamicChange
+	// MixedAttack combines strategies.
+	MixedAttack = attack.Mixed
+)
+
+// NewFaultPlan validates and assembles a fault plan.
+func NewFaultPlan(schedules ...FaultSchedule) (*FaultPlan, error) {
+	return fault.NewPlan(schedules...)
+}
+
+// NewRandomNoiseFault builds a zero-mean high-variance noise fault with
+// per-attribute standard deviations.
+func NewRandomNoiseFault(sigma []float64, seed int64) (FaultInjector, error) {
+	return fault.NewRandomNoise(sigma, seed)
+}
+
+// NewIntermittentFault builds a message-dropping fault (a dying sensor
+// thinning its traffic) with the given drop rate.
+func NewIntermittentFault(rate float64, seed int64) (FaultInjector, error) {
+	return fault.NewIntermittent(rate, seed)
+}
+
+// NewAdversary builds an adversary controlling the given sensors, clamped to
+// the given admissible ranges.
+func NewAdversary(malicious []int, ranges []Range) (*Adversary, error) {
+	return attack.NewAdversary(malicious, ranges)
+}
+
+// WithFaults installs a fault plan on a simulated deployment.
+func WithFaults(p *FaultPlan) DeploymentOption { return network.WithFaults(p) }
+
+// WithAttack installs an attack strategy on a simulated deployment.
+func WithAttack(s AttackStrategy) DeploymentOption { return network.WithAttack(s) }
+
+// DefaultTraceConfig mirrors the paper's GDI setup: 10 motes, 31 days,
+// 5-minute sampling, realistic packet loss.
+func DefaultTraceConfig() TraceConfig { return gdi.DefaultGenerateConfig() }
+
+// GDIRanges returns the admissible GDI attribute ranges (temperature
+// [-40,60] °C, humidity [0,100] %).
+func GDIRanges() []Range { return gdi.Ranges() }
+
+// GenerateTrace produces a synthetic GDI-like trace, optionally with faults
+// or attacks injected into the underlying simulated deployment.
+func GenerateTrace(cfg TraceConfig, opts ...DeploymentOption) (Trace, error) {
+	return gdi.Generate(cfg, opts...)
+}
+
+// WriteTraceCSV encodes a trace as CSV (header:
+// time_seconds,sensor,temperature,humidity,...).
+func WriteTraceCSV(w io.Writer, tr Trace) error { return gdi.WriteCSV(w, tr) }
+
+// ReadTraceCSV decodes a trace written by WriteTraceCSV (or any external
+// trace in the same schema).
+func ReadTraceCSV(r io.Reader) (Trace, error) { return gdi.ReadCSV(r) }
+
+// PeriodicAttackWindow gates an attack strategy to [offset, offset+duration)
+// of every period (e.g. nightly strikes).
+func PeriodicAttackWindow(inner AttackStrategy, period, offset, duration time.Duration) (AttackStrategy, error) {
+	gate, err := attack.PeriodicGate(period, offset, duration)
+	if err != nil {
+		return nil, err
+	}
+	return &attack.Gated{Inner: inner, Active: gate}, nil
+}
