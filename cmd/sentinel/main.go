@@ -7,9 +7,17 @@
 //
 //	sentinel [flags] trace.csv
 //	gdigen -days 14 -fault stuck | sentinel -
+//	gdigen -days 14 -fault stuck | sentinel -metrics-addr :9090 -hold 1m -
 //
 // The trace must be in the gdigen CSV schema
 // (time_seconds,sensor,temperature,humidity).
+//
+// With -metrics-addr the run is observable while it executes: /metrics
+// serves the pipeline counters and per-stage latency histograms in
+// Prometheus text format, /metrics.json and /debug/vars the same as JSON,
+// /healthz a liveness probe, and /debug/pprof the standard profiles. With
+// -events every window is also emitted as one NDJSON object (see
+// docs/OBSERVABILITY.md for the schema).
 package main
 
 import (
@@ -26,13 +34,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, out io.Writer) error {
+func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("sentinel", flag.ContinueOnError)
 	states := fs.Int("states", 6, "number of initial model states (k-means over the first day)")
 	seed := fs.Int64("seed", 1, "random seed for the initial clustering")
@@ -40,11 +48,44 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	matrices := fs.Bool("matrices", true, "print the B^CO and B^CE matrices")
 	dot := fs.Bool("dot", false, "print the correct Markov model in Graphviz dot form")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/vars, and /debug/pprof on this address while processing")
+	eventsPath := fs.String("events", "", "stream one NDJSON event per window to this file (\"-\" = stderr)")
+	hold := fs.Duration("hold", 0, "keep serving -metrics-addr this long after the report (0 = exit immediately)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: sentinel [flags] <trace.csv | ->")
+	}
+	if *hold > 0 && *metricsAddr == "" {
+		return fmt.Errorf("-hold needs -metrics-addr")
+	}
+
+	observer := &sensorguard.Observer{}
+	var events *sensorguard.LogSink
+	if *metricsAddr != "" {
+		observer.Metrics = sensorguard.NewMetricsRegistry()
+	}
+	if *eventsPath != "" {
+		w := errOut
+		if *eventsPath != "-" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				return fmt.Errorf("events file: %w", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		events = sensorguard.NewLogSink(w)
+		observer.Sink = events
+	}
+	if observer.Metrics != nil {
+		srv, err := sensorguard.ServeMetrics(*metricsAddr, observer.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(errOut, "sentinel: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	var in io.Reader
@@ -81,12 +122,18 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 
 	cfg := sensorguard.DefaultConfig(seeds)
 	cfg.Window = *window
+	cfg.Observer = observer
 	det, err := sensorguard.NewDetector(cfg)
 	if err != nil {
 		return err
 	}
 	if _, err := det.ProcessTrace(tr.Readings); err != nil {
 		return err
+	}
+	if events != nil {
+		if err := events.Err(); err != nil {
+			return fmt.Errorf("event stream: %w", err)
+		}
 	}
 	rep, err := det.Report()
 	if err != nil {
@@ -98,10 +145,16 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		_, err = fmt.Fprintln(out, string(data))
-		return err
+		if _, err := fmt.Fprintln(out, string(data)); err != nil {
+			return err
+		}
+	} else {
+		printReport(out, det, rep, *matrices, *dot)
 	}
-	printReport(out, det, rep, *matrices, *dot)
+	if *hold > 0 {
+		fmt.Fprintf(errOut, "sentinel: holding metrics endpoint for %v\n", *hold)
+		time.Sleep(*hold)
+	}
 	return nil
 }
 

@@ -200,6 +200,21 @@ func (s *Stats) RawRate(sensorID int) float64 {
 	return float64(s.raw[sensorID]) / float64(s.steps[sensorID])
 }
 
+// Totals returns the step, raw-alarm, and filtered-alarm counts summed over
+// every sensor — the aggregate view a metrics scrape cross-checks against.
+func (s *Stats) Totals() (steps, raw, filtered int) {
+	for _, n := range s.steps {
+		steps += n
+	}
+	for _, n := range s.raw {
+		raw += n
+	}
+	for _, n := range s.filtered {
+		filtered += n
+	}
+	return steps, raw, filtered
+}
+
 // FilteredRate returns the filtered alarm rate for a sensor.
 func (s *Stats) FilteredRate(sensorID int) float64 {
 	if s.steps[sensorID] == 0 {

@@ -114,6 +114,8 @@ type Set struct {
 	nextID  int
 	adapts  int
 	pending []pendingSpawn
+	spawned int
+	merged  int
 }
 
 // pendingSpawn is a far observation waiting for confirmation: a new state
@@ -335,6 +337,7 @@ func (s *Set) spawn(p vecmat.Vector) int {
 	id := s.nextID
 	s.nextID++
 	s.states = append(s.states, State{ID: id, Centroid: p.Clone(), Weight: 1})
+	s.spawned++
 	return id
 }
 
@@ -375,8 +378,16 @@ func (s *Set) merge(into, from int) Event {
 	a.Weight = total
 	ev := Event{Kind: EventMerge, Into: a.ID, From: b.ID}
 	s.states = append(s.states[:from], s.states[from+1:]...)
+	s.merged++
 	return ev
 }
+
+// SpawnCount returns the total number of states ever spawned (initial seed
+// states excluded).
+func (s *Set) SpawnCount() int { return s.spawned }
+
+// MergeCount returns the total number of merge events so far.
+func (s *Set) MergeCount() int { return s.merged }
 
 // TotalWeight returns the sum of all state weights (total observations
 // absorbed so far).

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"sensorguard/internal/obs"
 	"sensorguard/internal/vecmat"
 )
 
@@ -11,6 +12,27 @@ import (
 // 10 sensors × 12 samples.
 func BenchmarkStep(b *testing.B) {
 	d, err := NewDetector(DefaultConfig(keyStates()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := keyStates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := uniformWindow(i, 10, points[i%4])
+		if _, err := d.Step(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepInstrumented is BenchmarkStep with a full observer attached
+// (metrics registry + NopSink event stream). Comparing against
+// BenchmarkStep measures the observability overhead, which must stay within
+// noise of the uninstrumented baseline.
+func BenchmarkStepInstrumented(b *testing.B) {
+	cfg := DefaultConfig(keyStates())
+	cfg.Observer = &obs.Observer{Metrics: obs.NewRegistry(), Sink: obs.NopSink{}}
+	d, err := NewDetector(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"sensorguard/internal/alarm"
 	"sensorguard/internal/classify"
 	"sensorguard/internal/cluster"
+	"sensorguard/internal/obs"
 	"sensorguard/internal/vecmat"
 )
 
@@ -70,6 +71,11 @@ type Config struct {
 	QuarantineCoordinated float64
 	// Classify holds the structural-analysis thresholds.
 	Classify classify.Config
+	// Observer, when non-nil, receives per-window metrics and structured
+	// events from the detector (see internal/obs): counters/gauges/stage
+	// latency histograms in Observer.Metrics and one obs.Event per window
+	// on Observer.Sink. A nil Observer adds no overhead to Step.
+	Observer *obs.Observer
 }
 
 // DefaultConfig returns the Table 1 configuration for the given initial

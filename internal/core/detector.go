@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sensorguard/internal/alarm"
 	"sensorguard/internal/classify"
@@ -10,6 +11,7 @@ import (
 	"sensorguard/internal/hmm"
 	"sensorguard/internal/markov"
 	"sensorguard/internal/network"
+	"sensorguard/internal/obs"
 	"sensorguard/internal/sensor"
 	runstats "sensorguard/internal/stats"
 	"sensorguard/internal/track"
@@ -33,6 +35,12 @@ type Detector struct {
 
 	quarantined map[int]bool
 	seen        map[int]bool
+
+	inst *instruments
+	// epoch anchors stage timing: boundaries take monotonic marks via
+	// time.Since(epoch), which skips the wall-clock read of time.Now and
+	// roughly halves the per-mark cost on the instrumented hot path.
+	epoch time.Time
 
 	// profiles accumulate, per tracked sensor and hidden state, the
 	// per-attribute statistics of the sensor's own readings while it was
@@ -123,20 +131,57 @@ func NewDetector(cfg Config) (*Detector, error) {
 		quarantined: make(map[int]bool),
 		seen:        make(map[int]bool),
 		profiles:    make(map[int]map[int][]runstats.Running),
+		inst:        newInstruments(cfg.Observer),
+		epoch:       time.Now(),
 	}, nil
 }
 
 // Step folds in one observation window.
 func (d *Detector) Step(w network.Window) (StepResult, error) {
+	if d.inst == nil {
+		return d.step(w, nil)
+	}
+	ev := obs.Event{Window: w.Index, Readings: len(w.Readings)}
+	res, err := d.step(w, &ev)
+	if err != nil {
+		return res, err
+	}
+	lat := &ev.Latency
+	lat.TotalNS = lat.DeriveNS + lat.ClassifyNS + lat.MapNS + lat.AlarmNS + lat.HMMNS
+	d.inst.finish(d, res, &ev)
+	return res, nil
+}
+
+// step is the uninstrumented pipeline body. ev is nil when no observer is
+// configured; when set, step records per-stage latencies and per-window
+// counts into it.
+func (d *Detector) step(w network.Window, ev *obs.Event) (StepResult, error) {
 	res := StepResult{Index: w.Index, Sensors: make(map[int]SensorStep)}
 
 	// Per-sensor window means are the observations p_j of Eq. (2)-(4).
+	// Stage timing takes cumulative monotonic marks against d.epoch
+	// (time.Since skips the wall-clock read and is ~2x cheaper than
+	// time.Now), so the instrumented path stays within noise of the bare
+	// pipeline.
+	var mark int64
+	if ev != nil {
+		mark = time.Since(d.epoch).Nanoseconds()
+	}
 	ids, points, err := d.sensorMeans(w.Readings)
 	if err != nil {
 		return res, err
 	}
+	if ev != nil {
+		cum := time.Since(d.epoch).Nanoseconds()
+		ev.Latency.DeriveNS = cum - mark
+		ev.Sensors = len(ids)
+		mark = cum
+	}
 	if len(ids) < d.cfg.MinSensors {
 		res.Skipped = true
+		if ev != nil {
+			ev.Skipped = true
+		}
 		d.skipped++
 		return res, nil
 	}
@@ -144,6 +189,11 @@ func (d *Detector) Step(w network.Window) (StepResult, error) {
 		d.seen[id] = true
 	}
 	d.refreshQuarantine(w.Index)
+	if ev != nil {
+		cum := time.Since(d.epoch).Nanoseconds()
+		ev.Latency.ClassifyNS = cum - mark
+		mark = cum
+	}
 
 	// Eq. (2) averages over *all* observations in the window, not over
 	// per-sensor means: a sensor's influence on the observable state is
@@ -191,6 +241,12 @@ func (d *Detector) Step(w network.Window) (StepResult, error) {
 	}
 
 	res.Observable, res.Correct = observable, correct
+	if ev != nil {
+		cum := time.Since(d.epoch).Nanoseconds()
+		ev.Latency.MapNS = cum - mark
+		ev.Observable, ev.Correct = observable, correct
+		mark = cum
+	}
 
 	// Alarm generation, filtering, and track management per sensor.
 	for i, id := range ids {
@@ -198,7 +254,22 @@ func (d *Detector) Step(w network.Window) (StepResult, error) {
 		filtered := d.filter.Observe(id, raw)
 		d.stats.Record(id, raw, filtered)
 
-		_, symbol, recorded := d.tracks.Observe(w.Index, id, filtered, mapped[i], correct)
+		tr, symbol, recorded := d.tracks.Observe(w.Index, id, filtered, mapped[i], correct)
+		if ev != nil {
+			if raw {
+				ev.RawAlarms++
+			}
+			if filtered {
+				ev.FilteredAlarms++
+			}
+			if tr != nil {
+				if tr.Closed == w.Index {
+					ev.TracksClosed = append(ev.TracksClosed, id)
+				} else if tr.Opened == w.Index {
+					ev.TracksOpened = append(ev.TracksOpened, id)
+				}
+			}
+		}
 		step := SensorStep{
 			Mapped:   mapped[i],
 			Raw:      raw,
@@ -221,6 +292,11 @@ func (d *Detector) Step(w network.Window) (StepResult, error) {
 		}
 		res.Sensors[id] = step
 	}
+	if ev != nil {
+		cum := time.Since(d.epoch).Nanoseconds()
+		ev.Latency.AlarmNS = cum - mark
+		mark = cum
+	}
 
 	// Environment models.
 	d.mco.Observe(correct, observable)
@@ -242,6 +318,9 @@ func (d *Detector) Step(w network.Window) (StepResult, error) {
 		}
 	}
 	res.Events = events
+	if ev != nil {
+		ev.Latency.HMMNS = time.Since(d.epoch).Nanoseconds() - mark
+	}
 	d.steps++
 	return res, nil
 }
@@ -474,6 +553,41 @@ func majorityState(mapped []int) int {
 		}
 	}
 	return best
+}
+
+// Stats is a cheap snapshot of the detector's internal counters — the
+// numbers a caller can poll between windows without paying for a full
+// Report (which runs the structural classifier).
+type Stats struct {
+	// Steps and SkippedWindows count processed and quorum-dropped windows.
+	Steps, SkippedWindows int
+	// TracksOpened and TracksClosed count error/attack track lifecycle
+	// events; OpenTracks is the number open right now.
+	TracksOpened, TracksClosed, OpenTracks int
+	// QuarantinedSensors is the number of sensors currently excluded from
+	// the observable estimate.
+	QuarantinedSensors int
+	// ModelStates is the current model-state count; StateSpawns and
+	// StateMerges count structural changes since construction.
+	ModelStates, StateSpawns, StateMerges int
+	// SensorsSeen is the number of distinct sensors ever observed.
+	SensorsSeen int
+}
+
+// Stats returns a snapshot of the detector's internal counters.
+func (d *Detector) Stats() Stats {
+	return Stats{
+		Steps:              d.steps,
+		SkippedWindows:     d.skipped,
+		TracksOpened:       d.tracks.Opened(),
+		TracksClosed:       d.tracks.ClosedCount(),
+		OpenTracks:         d.tracks.OpenCount(),
+		QuarantinedSensors: len(d.quarantined),
+		ModelStates:        d.states.Len(),
+		StateSpawns:        d.states.SpawnCount(),
+		StateMerges:        d.states.MergeCount(),
+		SensorsSeen:        len(d.seen),
+	}
 }
 
 // Steps returns the number of non-skipped windows processed.

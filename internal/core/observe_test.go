@@ -1,0 +1,225 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sensorguard/internal/classify"
+	"sensorguard/internal/obs"
+	"sensorguard/internal/vecmat"
+)
+
+// observedRun drives an instrumented detector through n windows with sensor
+// 9 stuck far off the environment, so alarms, tracks, and M_CE all engage.
+func observedRun(t *testing.T, n int) (*Detector, *obs.Registry, *obs.RingSink) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ring := obs.NewRingSink(n + 8)
+	cfg := DefaultConfig(keyStates())
+	cfg.Observer = &obs.Observer{Metrics: reg, Sink: ring}
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		bySensor := make([]vecmat.Vector, 10)
+		for s := 0; s < 9; s++ {
+			bySensor[s] = keyStates()[i%4]
+		}
+		bySensor[9] = vecmat.Vector{45, 20}
+		if _, err := d.Step(window(i, bySensor)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, reg, ring
+}
+
+func TestObserverEmitsOneEventPerWindow(t *testing.T) {
+	const n = 48
+	d, _, ring := observedRun(t, n)
+	evs := ring.Events()
+	if len(evs) != n {
+		t.Fatalf("got %d events for %d windows", len(evs), n)
+	}
+	var opened, raw, filtered int
+	for i, ev := range evs {
+		if ev.Window != i {
+			t.Errorf("event %d: window = %d", i, ev.Window)
+		}
+		if ev.Skipped {
+			t.Errorf("event %d unexpectedly skipped", i)
+		}
+		if ev.Sensors != 10 {
+			t.Errorf("event %d: sensors = %d, want 10", i, ev.Sensors)
+		}
+		if ev.ModelStates <= 0 {
+			t.Errorf("event %d: model states = %d", i, ev.ModelStates)
+		}
+		if ev.Latency.TotalNS <= 0 {
+			t.Errorf("event %d: total latency = %d", i, ev.Latency.TotalNS)
+		}
+		opened += len(ev.TracksOpened)
+		raw += ev.RawAlarms
+		filtered += ev.FilteredAlarms
+	}
+	if opened != d.Tracks().Opened() {
+		t.Errorf("events record %d opened tracks, manager says %d", opened, d.Tracks().Opened())
+	}
+	steps, wantRaw, wantFiltered := d.AlarmStats().Totals()
+	if steps != n*10 {
+		t.Errorf("alarm stats cover %d sensor-steps, want %d", steps, n*10)
+	}
+	if raw != wantRaw || filtered != wantFiltered {
+		t.Errorf("events count %d/%d raw/filtered alarms, stats say %d/%d",
+			raw, filtered, wantRaw, wantFiltered)
+	}
+}
+
+func TestObserverMetricsMatchDetectorState(t *testing.T) {
+	const n = 48
+	d, reg, _ := observedRun(t, n)
+	st := d.Stats()
+	counter := func(name string) int { return int(reg.Counter(name, "").Value()) }
+	gauge := func(name string) int { return int(reg.Gauge(name, "").Value()) }
+	if got := counter("sensorguard_windows_total"); got != st.Steps {
+		t.Errorf("windows_total = %d, Stats.Steps = %d", got, st.Steps)
+	}
+	if got := counter("sensorguard_tracks_opened_total"); got != st.TracksOpened {
+		t.Errorf("tracks_opened_total = %d, Stats.TracksOpened = %d", got, st.TracksOpened)
+	}
+	_, raw, filtered := d.AlarmStats().Totals()
+	if got := counter("sensorguard_alarms_raw_total"); got != raw {
+		t.Errorf("alarms_raw_total = %d, stats raw = %d", got, raw)
+	}
+	if got := counter("sensorguard_alarms_filtered_total"); got != filtered {
+		t.Errorf("alarms_filtered_total = %d, stats filtered = %d", got, filtered)
+	}
+	if got := gauge("sensorguard_open_tracks"); got != st.OpenTracks {
+		t.Errorf("open_tracks = %d, Stats.OpenTracks = %d", got, st.OpenTracks)
+	}
+	if got := gauge("sensorguard_model_states"); got != st.ModelStates {
+		t.Errorf("model_states = %d, Stats.ModelStates = %d", got, st.ModelStates)
+	}
+	if got := reg.Histogram("sensorguard_step_seconds", "", nil).Count(); got != uint64(n) {
+		t.Errorf("step_seconds count = %d, want %d", got, n)
+	}
+	for _, stage := range []string{"derive", "classify", "map", "alarm", "hmm"} {
+		name := "sensorguard_stage_" + stage + "_seconds"
+		if got := reg.Histogram(name, "", nil).Count(); got != uint64(n) {
+			t.Errorf("%s count = %d, want %d", name, got, n)
+		}
+	}
+}
+
+func TestObserverSkippedWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	ring := obs.NewRingSink(4)
+	cfg := DefaultConfig(keyStates())
+	cfg.Observer = &obs.Observer{Metrics: reg, Sink: ring}
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Step(uniformWindow(0, 1, keyStates()[0])) // below MinSensors
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Skipped {
+		t.Fatal("window not skipped")
+	}
+	if got := reg.Counter("sensorguard_windows_skipped_total", "").Value(); got != 1 {
+		t.Errorf("windows_skipped_total = %d, want 1", got)
+	}
+	evs := ring.Events()
+	if len(evs) != 1 || !evs[0].Skipped {
+		t.Fatalf("skipped window not emitted as event: %+v", evs)
+	}
+}
+
+func TestObserverSinkOnly(t *testing.T) {
+	ring := obs.NewRingSink(8)
+	cfg := DefaultConfig(keyStates())
+	cfg.Observer = &obs.Observer{Sink: ring}
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := d.Step(uniformWindow(i, 10, keyStates()[i%4])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ring.Len() != 4 {
+		t.Errorf("sink-only observer emitted %d events, want 4", ring.Len())
+	}
+}
+
+func TestDetectorStats(t *testing.T) {
+	d, _, _ := observedRun(t, 48)
+	st := d.Stats()
+	if st.Steps != d.Steps() || st.SkippedWindows != d.SkippedWindows() {
+		t.Errorf("Stats windows %d/%d, accessors %d/%d",
+			st.Steps, st.SkippedWindows, d.Steps(), d.SkippedWindows())
+	}
+	if st.TracksOpened != d.Tracks().Opened() {
+		t.Errorf("Stats.TracksOpened = %d, manager %d", st.TracksOpened, d.Tracks().Opened())
+	}
+	if st.TracksOpened == 0 {
+		t.Error("stuck sensor never opened a track")
+	}
+	if st.OpenTracks != len(d.Tracks().ActiveTracks()) {
+		t.Errorf("Stats.OpenTracks = %d, manager %d", st.OpenTracks, len(d.Tracks().ActiveTracks()))
+	}
+	if st.QuarantinedSensors != len(d.Quarantined()) {
+		t.Errorf("Stats.QuarantinedSensors = %d, Quarantined() has %d", st.QuarantinedSensors, len(d.Quarantined()))
+	}
+	if st.ModelStates != len(d.States()) {
+		t.Errorf("Stats.ModelStates = %d, States() has %d", st.ModelStates, len(d.States()))
+	}
+	if st.SensorsSeen != 10 {
+		t.Errorf("Stats.SensorsSeen = %d, want 10", st.SensorsSeen)
+	}
+}
+
+func TestReportOverallTieBreakDeterministic(t *testing.T) {
+	// Two error kinds with equal counts: the smaller Kind value must win,
+	// regardless of map iteration order.
+	rep := Report{
+		Sensors: map[int]classify.SensorDiagnosis{
+			1: {Sensor: 1, Kind: classify.KindAdditive},
+			2: {Sensor: 2, Kind: classify.KindAdditive},
+			3: {Sensor: 3, Kind: classify.KindStuckAt},
+			4: {Sensor: 4, Kind: classify.KindStuckAt},
+		},
+	}
+	for i := 0; i < 50; i++ {
+		if got := rep.Overall(); got != classify.KindStuckAt {
+			t.Fatalf("Overall() = %v on iteration %d, want stuck-at", got, i)
+		}
+	}
+	// A strict majority still wins over a smaller-valued minority kind.
+	rep.Sensors[5] = classify.SensorDiagnosis{Sensor: 5, Kind: classify.KindAdditive}
+	for i := 0; i < 50; i++ {
+		if got := rep.Overall(); got != classify.KindAdditive {
+			t.Fatalf("Overall() = %v on iteration %d, want additive", got, i)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{
+		Detected: true,
+		Sensors: map[int]classify.SensorDiagnosis{
+			6: {Sensor: 6, Kind: classify.KindStuckAt},
+			2: {Sensor: 2, Kind: classify.KindCalibration},
+		},
+	}
+	s := rep.String()
+	if !strings.Contains(s, "detected=true") {
+		t.Errorf("String() missing detected flag: %q", s)
+	}
+	// Sensors render in ascending ID order.
+	if i2, i6 := strings.Index(s, "sensor 2: calibration"), strings.Index(s, "sensor 6: stuck-at"); i2 < 0 || i6 < 0 || i2 > i6 {
+		t.Errorf("String() sensor lines wrong or unordered:\n%s", s)
+	}
+}

@@ -30,7 +30,9 @@ type Report struct {
 
 // Overall returns the single headline diagnosis: the network-level attack
 // kind when one is present, otherwise the most common per-sensor error kind,
-// otherwise KindNone.
+// otherwise KindNone. Ties between equally common kinds break toward the
+// smaller Kind value (declaration order in classify), so the result is
+// deterministic rather than map-iteration-order dependent.
 func (r Report) Overall() classify.Kind {
 	if r.Network.Kind.IsAttack() {
 		return r.Network.Kind
@@ -43,7 +45,7 @@ func (r Report) Overall() classify.Kind {
 	}
 	best, bestCount := classify.KindNone, 0
 	for k, c := range counts {
-		if c > bestCount {
+		if c > bestCount || (c == bestCount && bestCount > 0 && k < best) {
 			best, bestCount = k, c
 		}
 	}

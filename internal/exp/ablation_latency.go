@@ -8,6 +8,7 @@ import (
 	"sensorguard/internal/classify"
 	"sensorguard/internal/fault"
 	"sensorguard/internal/network"
+	"sensorguard/internal/obs"
 	"sensorguard/internal/vecmat"
 )
 
@@ -38,7 +39,10 @@ type LatencySweepResult struct {
 }
 
 // AblationDetectionLatency sweeps the calibration-fault magnitude on sensor
-// 7 and measures detection latency and final diagnosis.
+// 7 and measures detection latency and final diagnosis. Detection delay is
+// read off the detector's own event stream: each run gets a ring sink, and
+// the latency is the gap between fault onset and the first event whose
+// tracks_opened names the faulted sensor.
 func AblationDetectionLatency(cfg Config) (LatencySweepResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return LatencySweepResult{}, err
@@ -54,17 +58,15 @@ func AblationDetectionLatency(cfg Config) (LatencySweepResult, error) {
 		if err != nil {
 			return res, err
 		}
-		r, err := runWithSteps(cfg, network.WithFaults(plan))
+		ring := obs.NewRingSink(cfg.Days*24 + 48)
+		r, err := runWithSteps(cfg.withSink(ring), network.WithFaults(plan))
 		if err != nil {
 			return res, err
 		}
 		pt := LatencyPoint{Factor: factor, DetectionWindow: -1, LatencyWindows: -1, Kind: classify.KindNone}
-		for _, s := range r.Steps {
-			if st, ok := s.Sensors[7]; ok && st.TrackOpen {
-				pt.DetectionWindow = s.Index
-				pt.LatencyWindows = s.Index - onset
-				break
-			}
+		if w := firstTrackOpen(ring.Events(), 7); w >= 0 {
+			pt.DetectionWindow = w
+			pt.LatencyWindows = w - onset
 		}
 		rep, err := r.Detector.Report()
 		if err != nil {

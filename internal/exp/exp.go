@@ -15,6 +15,7 @@ import (
 	"sensorguard/internal/core"
 	"sensorguard/internal/gdi"
 	"sensorguard/internal/network"
+	"sensorguard/internal/obs"
 	"sensorguard/internal/sensor"
 	"sensorguard/internal/vecmat"
 )
@@ -36,6 +37,10 @@ type Config struct {
 	// few target states and genuinely stops being injective (see the
 	// experiment's doc comment).
 	SeedStates []vecmat.Vector
+	// Observer, when non-nil, instruments every detector the experiment
+	// builds: metrics accumulate across runs in the registry, and the sink
+	// receives one event per window.
+	Observer *obs.Observer
 }
 
 // DefaultConfig mirrors the paper's month-long evaluation.
@@ -86,7 +91,37 @@ func buildDetector(cfg Config, tr gdi.Trace) (*core.Detector, error) {
 			return nil, fmt.Errorf("random states: %w", err)
 		}
 	}
-	return core.NewDetector(core.DefaultConfig(seeds))
+	ccfg := core.DefaultConfig(seeds)
+	ccfg.Observer = cfg.Observer
+	return core.NewDetector(ccfg)
+}
+
+// withSink returns a copy of cfg whose detectors also emit events into sink,
+// preserving any observer the caller configured.
+func (c Config) withSink(sink obs.EventSink) Config {
+	out := c
+	o := &obs.Observer{Sink: sink}
+	if c.Observer != nil {
+		o.Metrics = c.Observer.Metrics
+		if c.Observer.Sink != nil {
+			o.Sink = obs.MultiSink{c.Observer.Sink, sink}
+		}
+	}
+	out.Observer = o
+	return out
+}
+
+// firstTrackOpen scans an event stream for the first window that opened a
+// track on the given sensor (-1 = never).
+func firstTrackOpen(events []obs.Event, sensor int) int {
+	for _, ev := range events {
+		for _, id := range ev.TracksOpened {
+			if id == sensor {
+				return ev.Window
+			}
+		}
+	}
+	return -1
 }
 
 // sensorReading aliases the message type for brevity inside this package.

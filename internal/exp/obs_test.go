@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"testing"
+
+	"sensorguard/internal/obs"
+)
+
+// TestObserverThreadsThroughRuns checks that an observer on the experiment
+// config reaches the detectors it builds: one event per window lands in the
+// sink and the registry's window counter matches the step count.
+func TestObserverThreadsThroughRuns(t *testing.T) {
+	cfg := Config{Days: 3, Seed: 2006, KMeansInit: true}
+	ring := obs.NewRingSink(4096)
+	reg := obs.NewRegistry()
+	cfg.Observer = &obs.Observer{Metrics: reg, Sink: ring}
+
+	r, err := runWithSteps(cfg)
+	if err != nil {
+		t.Fatalf("runWithSteps: %v", err)
+	}
+	if ring.Len() != len(r.Steps) {
+		t.Errorf("sink saw %d events, detector took %d steps", ring.Len(), len(r.Steps))
+	}
+	var processed, skipped uint64
+	for _, s := range r.Steps {
+		if s.Skipped {
+			skipped++
+		} else {
+			processed++
+		}
+	}
+	if got := reg.Counter("sensorguard_windows_total", "").Value(); got != processed {
+		t.Errorf("sensorguard_windows_total = %d, want %d", got, processed)
+	}
+	if got := reg.Counter("sensorguard_windows_skipped_total", "").Value(); got != skipped {
+		t.Errorf("sensorguard_windows_skipped_total = %d, want %d", got, skipped)
+	}
+}
+
+// TestWithSinkPreservesCallerObserver checks that withSink fans out to both
+// the caller's sink and the added one, and keeps the caller's registry.
+func TestWithSinkPreservesCallerObserver(t *testing.T) {
+	callerRing := obs.NewRingSink(8)
+	reg := obs.NewRegistry()
+	cfg := Config{Days: 2, Seed: 1, Observer: &obs.Observer{Metrics: reg, Sink: callerRing}}
+
+	added := obs.NewRingSink(8)
+	got := cfg.withSink(added)
+	if got.Observer.Metrics != reg {
+		t.Error("withSink dropped the caller's registry")
+	}
+	got.Observer.Emit(obs.Event{Window: 7})
+	if callerRing.Len() != 1 || added.Len() != 1 {
+		t.Errorf("event fan-out: caller %d, added %d, want 1 and 1", callerRing.Len(), added.Len())
+	}
+
+	// Without a caller observer the added sink is the only consumer.
+	solo := Config{Days: 2, Seed: 1}.withSink(added)
+	solo.Observer.Emit(obs.Event{Window: 8})
+	if added.Len() != 2 {
+		t.Errorf("solo sink saw %d events, want 2", added.Len())
+	}
+}
+
+// TestFirstTrackOpen checks the event-stream scan used by the latency sweep.
+func TestFirstTrackOpen(t *testing.T) {
+	events := []obs.Event{
+		{Window: 0},
+		{Window: 1, TracksOpened: []int{3}},
+		{Window: 2, TracksOpened: []int{7, 4}},
+		{Window: 3, TracksOpened: []int{7}},
+	}
+	if got := firstTrackOpen(events, 7); got != 2 {
+		t.Errorf("firstTrackOpen(7) = %d, want 2", got)
+	}
+	if got := firstTrackOpen(events, 9); got != -1 {
+		t.Errorf("firstTrackOpen(9) = %d, want -1", got)
+	}
+}

@@ -108,6 +108,10 @@ func WriteCSV(w io.Writer, tr Trace) error {
 // number.
 func ReadCSV(r io.Reader) (Trace, error) {
 	cr := csv.NewReader(r)
+	// Do the field-count check ourselves: csv.Reader's ErrFieldCount hides
+	// the expected width, and our message carries both counts and the line.
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return Trace{}, fmt.Errorf("gdi: read header: %w", err)

@@ -1,0 +1,101 @@
+package obs
+
+// StageLatency carries the per-stage wall-clock cost of one detector window,
+// in nanoseconds. Stages mirror the Fig. 1 pipeline: Derive (per-sensor
+// window means, Eq. 2-4 inputs), Classify (quarantine re-derivation, which
+// runs the §3.4 classifier on long-open tracks), Map (observable/correct
+// state identification), Alarm (alarm generation, filtering, track and M_CE
+// updates), and HMM (M_CO/M_C/M_O updates plus model-state adaptation).
+// Total is the sum of the stage latencies.
+type StageLatency struct {
+	DeriveNS   int64 `json:"derive_ns"`
+	ClassifyNS int64 `json:"classify_ns"`
+	MapNS      int64 `json:"map_ns"`
+	AlarmNS    int64 `json:"alarm_ns"`
+	HMMNS      int64 `json:"hmm_ns"`
+	TotalNS    int64 `json:"total_ns"`
+}
+
+// Event is the structured record of one observation window as it flowed
+// through the detection pipeline. One event is emitted per window, skipped
+// windows included.
+type Event struct {
+	// Window is the window ordinal i.
+	Window int `json:"window"`
+	// Skipped reports a window dropped for lacking a sensor quorum; such
+	// events carry only Window, Sensors, and Latency.
+	Skipped bool `json:"skipped,omitempty"`
+	// Sensors is the number of distinct sensors reporting this window.
+	Sensors int `json:"sensors"`
+	// Readings is the number of delivered messages this window.
+	Readings int `json:"readings"`
+	// Observable and Correct are o_i and c_i (model-state IDs).
+	Observable int `json:"observable"`
+	Correct    int `json:"correct"`
+	// RawAlarms and FilteredAlarms count sensors alarming this window
+	// before and after the alarm filter.
+	RawAlarms      int `json:"raw_alarms"`
+	FilteredAlarms int `json:"filtered_alarms"`
+	// TracksOpened and TracksClosed list the sensors whose error/attack
+	// track opened or closed this window.
+	TracksOpened []int `json:"tracks_opened,omitempty"`
+	TracksClosed []int `json:"tracks_closed,omitempty"`
+	// OpenTracks is the number of tracks open after this window.
+	OpenTracks int `json:"open_tracks"`
+	// StateSpawns and StateMerges count structural model-state changes.
+	StateSpawns int `json:"state_spawns,omitempty"`
+	StateMerges int `json:"state_merges,omitempty"`
+	// ModelStates is the model-state count after adaptation.
+	ModelStates int `json:"model_states"`
+	// Quarantined lists the sensors excluded from the observable estimate
+	// this window.
+	Quarantined []int `json:"quarantined,omitempty"`
+	// Latency is the per-stage wall-clock cost.
+	Latency StageLatency `json:"latency"`
+}
+
+// EventSink consumes the detector's per-window event stream. Emit is called
+// synchronously from the pipeline hot path, once per window, and must not
+// retain ev's slices beyond the call unless it copies them.
+type EventSink interface {
+	Emit(ev Event)
+}
+
+// NopSink discards every event. It is the sink to benchmark against: the
+// instrumented pipeline with a NopSink measures pure observability overhead.
+type NopSink struct{}
+
+// Emit discards the event.
+func (NopSink) Emit(Event) {}
+
+// MultiSink fans every event out to each sink in order.
+type MultiSink []EventSink
+
+// Emit forwards the event to every sink.
+func (m MultiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// Observer bundles the two observability outputs a pipeline component can
+// feed: a metrics registry and an event sink. Either may be nil. A nil
+// *Observer disables instrumentation entirely (the pipeline takes no
+// timestamps).
+type Observer struct {
+	Metrics *Registry
+	Sink    EventSink
+}
+
+// Active reports whether the observer has anywhere to deliver.
+func (o *Observer) Active() bool {
+	return o != nil && (o.Metrics != nil || o.Sink != nil)
+}
+
+// Emit forwards the event to the sink, if any.
+func (o *Observer) Emit(ev Event) {
+	if o == nil || o.Sink == nil {
+		return
+	}
+	o.Sink.Emit(ev)
+}

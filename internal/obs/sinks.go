@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// LogSink streams events as NDJSON — one JSON object per line — to an
+// io.Writer. It is safe for concurrent use. Encoding errors are sticky:
+// the first one is kept and every later Emit is dropped; check Err after
+// the run.
+type LogSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewLogSink returns a sink writing NDJSON to w.
+func NewLogSink(w io.Writer) *LogSink {
+	return &LogSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one NDJSON line.
+func (s *LogSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Err returns the first write error, if any.
+func (s *LogSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// RingSink keeps the most recent events in a bounded in-memory buffer —
+// the sink for tests, experiments, and the CLI's post-run summaries. It is
+// safe for concurrent use.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int
+	n       int
+	emitted int
+}
+
+// NewRingSink returns a sink retaining the last capacity events
+// (capacity < 1 is treated as 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit appends the event, evicting the oldest when full.
+func (s *RingSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emitted++
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = ev
+		s.n++
+		return
+	}
+	s.buf[s.start] = ev
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (s *RingSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Emitted returns the number of events ever emitted (retained or evicted).
+func (s *RingSink) Emitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.emitted
+}
+
+// Dropped returns the number of events evicted from the buffer.
+func (s *RingSink) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.emitted - s.n
+}

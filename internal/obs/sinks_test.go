@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestLogSinkNDJSON(t *testing.T) {
+	var b strings.Builder
+	sink := NewLogSink(&b)
+	for i := 0; i < 3; i++ {
+		sink.Emit(Event{Window: i, Sensors: 10, TracksOpened: []int{6}})
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	n := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", n, err, sc.Text())
+		}
+		if ev.Window != n {
+			t.Errorf("line %d: window = %d", n, ev.Window)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("got %d NDJSON lines, want 3", n)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestLogSinkStickyError(t *testing.T) {
+	sink := NewLogSink(failWriter{})
+	sink.Emit(Event{})
+	sink.Emit(Event{})
+	if sink.Err() == nil {
+		t.Error("write error not surfaced")
+	}
+}
+
+func TestRingSinkBounded(t *testing.T) {
+	sink := NewRingSink(3)
+	for i := 0; i < 5; i++ {
+		sink.Emit(Event{Window: i})
+	}
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Window != i+2 {
+			t.Errorf("event %d: window = %d, want %d", i, ev.Window, i+2)
+		}
+	}
+	if sink.Emitted() != 5 || sink.Dropped() != 2 || sink.Len() != 3 {
+		t.Errorf("emitted/dropped/len = %d/%d/%d, want 5/2/3",
+			sink.Emitted(), sink.Dropped(), sink.Len())
+	}
+}
+
+func TestMultiSinkAndObserver(t *testing.T) {
+	a, b := NewRingSink(8), NewRingSink(8)
+	var o *Observer
+	if o.Active() {
+		t.Error("nil observer reports active")
+	}
+	o.Emit(Event{}) // must not panic
+	o = &Observer{Sink: MultiSink{a, b}}
+	if !o.Active() {
+		t.Error("observer with sink reports inactive")
+	}
+	o.Emit(Event{Window: 9})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("multi-sink fan-out: %d/%d events, want 1/1", a.Len(), b.Len())
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sensorguard_windows_total", "").Add(42)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var b strings.Builder
+		if _, err := bufio.NewReader(resp.Body).WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "sensorguard_windows_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %q", body)
+	}
+	for _, path := range []string{"/metrics.json", "/debug/vars"} {
+		var decoded map[string]any
+		if err := json.Unmarshal([]byte(get(path)), &decoded); err != nil {
+			t.Errorf("%s is not valid JSON: %v", path, err)
+		} else if decoded["sensorguard_windows_total"].(float64) != 42 {
+			t.Errorf("%s counter = %v", path, decoded["sensorguard_windows_total"])
+		}
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}

@@ -129,3 +129,9 @@ func (m *Manager) ClosedTracks() []*Track {
 // Opened returns the total number of tracks ever opened (the paper indexes
 // new tracks by this count).
 func (m *Manager) Opened() int { return m.opened }
+
+// OpenCount returns the number of tracks open right now.
+func (m *Manager) OpenCount() int { return len(m.active) }
+
+// ClosedCount returns the number of tracks closed so far.
+func (m *Manager) ClosedCount() int { return len(m.closed) }

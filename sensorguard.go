@@ -34,11 +34,13 @@
 package sensorguard
 
 import (
+	"io"
 	"math/rand"
 
 	"sensorguard/internal/classify"
 	"sensorguard/internal/cluster"
 	"sensorguard/internal/core"
+	"sensorguard/internal/obs"
 	"sensorguard/internal/sensor"
 	"sensorguard/internal/vecmat"
 )
@@ -80,6 +82,44 @@ const (
 	KindDynamicChange   = classify.KindDynamicChange
 	KindMixed           = classify.KindMixed
 )
+
+// Observability types, re-exported so external callers can instrument the
+// pipeline (see docs/OBSERVABILITY.md).
+type (
+	// Observer bundles a metrics registry and an event sink; assign one to
+	// Config.Observer to instrument the detector.
+	Observer = obs.Observer
+	// MetricsRegistry is the concurrency-safe counter/gauge/histogram
+	// registry with Prometheus-text and JSON encodings.
+	MetricsRegistry = obs.Registry
+	// Event is the structured per-window record the detector emits.
+	Event = obs.Event
+	// EventSink consumes the per-window event stream.
+	EventSink = obs.EventSink
+	// RingSink retains the most recent events in memory.
+	RingSink = obs.RingSink
+	// LogSink streams events as NDJSON to an io.Writer.
+	LogSink = obs.LogSink
+	// NopSink discards every event.
+	NopSink = obs.NopSink
+	// DetectorStats is the cheap counter snapshot Detector.Stats returns.
+	DetectorStats = core.Stats
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewRingSink returns an event sink retaining the last capacity events.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewLogSink returns an event sink writing NDJSON to w.
+func NewLogSink(w io.Writer) *LogSink { return obs.NewLogSink(w) }
+
+// ServeMetrics serves a registry's /metrics, /metrics.json, /debug/vars,
+// /healthz, and /debug/pprof endpoints on addr in the background.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*obs.Server, error) {
+	return obs.Serve(addr, reg)
+}
 
 // NewDetector builds a detector from the configuration.
 func NewDetector(cfg Config) (*Detector, error) {
