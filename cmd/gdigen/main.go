@@ -12,9 +12,16 @@
 //	gdigen -days 31 -sensors 10 -seed 7 > clean.csv
 //	gdigen -days 14 -fault stuck -fault-sensor 6 > stuck.csv
 //	gdigen -days 21 -attack deletion -malicious 0,1,2 > attacked.csv
+//
+// With -stream the trace is replayed as NDJSON readings (the ingest wire
+// format of docs/SERVING.md) instead of CSV, paced by -rate (a multiplier
+// over real time; 0 streams as fast as possible), feeding a live collector:
+//
+//	gdigen -days 14 -fault stuck -stream -rate 100000 | sentinel -listen :8080 -
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +51,9 @@ type options struct {
 	faultStart  time.Duration
 	attack      string
 	malicious   string
+	stream      bool
+	rate        float64
+	deployment  string
 }
 
 func run(args []string, out io.Writer) error {
@@ -59,8 +69,14 @@ func run(args []string, out io.Writer) error {
 	fs.DurationVar(&o.faultStart, "fault-start", 48*time.Hour, "fault onset")
 	fs.StringVar(&o.attack, "attack", "", "attack to mount: creation | deletion | change")
 	fs.StringVar(&o.malicious, "malicious", "0,1,2", "comma-separated compromised sensor IDs")
+	fs.BoolVar(&o.stream, "stream", false, "replay the trace as NDJSON readings instead of writing CSV")
+	fs.Float64Var(&o.rate, "rate", 0, "stream rate multiplier over real time (0 = as fast as possible)")
+	fs.StringVar(&o.deployment, "deployment", "gdi", "deployment key stamped on streamed readings")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if o.rate < 0 {
+		return fmt.Errorf("-rate must be non-negative")
 	}
 
 	cfg := sensorguard.DefaultTraceConfig()
@@ -90,7 +106,42 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.stream {
+		return streamTrace(out, tr, o.deployment, o.rate)
+	}
 	return sensorguard.WriteTraceCSV(out, tr)
+}
+
+// streamTrace replays a trace as NDJSON readings in trace order. rate is a
+// multiplier over real time: 60 plays a minute of trace per wall-clock
+// second, 0 disables pacing entirely.
+func streamTrace(out io.Writer, tr sensorguard.Trace, deployment string, rate float64) error {
+	bw := bufio.NewWriter(out)
+	var prev time.Duration
+	for i, r := range tr.Readings {
+		if rate > 0 && i > 0 && r.Time > prev {
+			time.Sleep(time.Duration(float64(r.Time-prev) / rate))
+		}
+		prev = r.Time
+		line, err := sensorguard.EncodeIngestLine(sensorguard.IngestReading{
+			Deployment: deployment,
+			Reading:    r,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(line, '\n')); err != nil {
+			return err
+		}
+		// Flush per reading when pacing, so a live consumer sees readings
+		// as they "happen" rather than in buffered bursts.
+		if rate > 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
 }
 
 func faultPlan(o options) (*sensorguard.FaultPlan, error) {

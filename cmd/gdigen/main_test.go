@@ -78,6 +78,56 @@ func TestRunStuckFaultShowsInOutput(t *testing.T) {
 	}
 }
 
+func TestRunStreamNDJSON(t *testing.T) {
+	// The same generation flags must yield the same readings in both
+	// encodings: -stream is a re-encoding of the trace, not a new trace.
+	gen := []string{"-days", "2", "-sensors", "5", "-seed", "3", "-fault", "stuck", "-fault-start", "1h"}
+	var csvBuf bytes.Buffer
+	if err := run(gen, &csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sensorguard.ReadTraceCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run(append(gen, "-stream", "-deployment", "ridge"), &buf); err != nil {
+		t.Fatalf("run -stream: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(tr.Readings) {
+		t.Fatalf("streamed %d lines, trace has %d readings", len(lines), len(tr.Readings))
+	}
+	for i, line := range lines {
+		r, err := sensorguard.DecodeIngestLine([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d undecodable: %v\n%s", i, err, line)
+		}
+		if r.Deployment != "ridge" {
+			t.Fatalf("line %d deployment %q, want ridge", i, r.Deployment)
+		}
+		if r.Sensor != tr.Readings[i].Sensor || r.Time != tr.Readings[i].Time {
+			t.Fatalf("line %d is %+v, want reading %+v", i, r.Reading, tr.Readings[i])
+		}
+	}
+	if err := run([]string{"-stream", "-rate", "-2"}, &bytes.Buffer{}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestRunStreamPaced(t *testing.T) {
+	// A very high rate multiplier still exercises the pacing branch without
+	// slowing the test measurably.
+	var buf bytes.Buffer
+	if err := run([]string{"-days", "1", "-sensors", "2", "-stream", "-rate", "1e9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("paced stream produced no output")
+	}
+}
+
 func TestParseIDs(t *testing.T) {
 	ids, err := parseIDs("0, 1,2")
 	if err != nil || len(ids) != 3 || ids[2] != 2 {

@@ -8,6 +8,8 @@
 //	sentinel [flags] trace.csv
 //	gdigen -days 14 -fault stuck | sentinel -
 //	gdigen -days 14 -fault stuck | sentinel -metrics-addr :9090 -hold 1m -
+//	sentinel -listen :8080 -tcp :9000                      # streaming server
+//	gdigen -days 14 -fault stuck -stream | sentinel -listen :8080 -
 //
 // The trace must be in the gdigen CSV schema
 // (time_seconds,sensor,temperature,humidity).
@@ -18,6 +20,12 @@
 // /healthz a liveness probe, and /debug/pprof the standard profiles. With
 // -events every window is also emitted as one NDJSON object (see
 // docs/OBSERVABILITY.md for the schema).
+//
+// With -listen sentinel becomes a streaming server: live NDJSON readings
+// arrive over HTTP POST /ingest and/or a line-delimited TCP socket (-tcp),
+// are sharded by deployment key across -shards detector workers, and live
+// diagnoses are served from GET /report/{deployment}. See docs/SERVING.md
+// for wire formats, watermark semantics, and the backpressure policy.
 package main
 
 import (
@@ -51,8 +59,34 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/vars, and /debug/pprof on this address while processing")
 	eventsPath := fs.String("events", "", "stream one NDJSON event per window to this file (\"-\" = stderr)")
 	hold := fs.Duration("hold", 0, "keep serving -metrics-addr this long after the report (0 = exit immediately)")
+	listen := fs.String("listen", "", "serve mode: accept live NDJSON readings over HTTP on this address (POST /ingest, GET /report/{deployment}, /metrics)")
+	tcpAddr := fs.String("tcp", "", "serve mode: also accept line-delimited NDJSON readings on this TCP address")
+	shards := fs.Int("shards", 4, "serve mode: detector worker shards")
+	queueLen := fs.Int("queue", 1024, "serve mode: per-shard queue length")
+	overflow := fs.String("overflow", "block", "serve mode: full-queue policy, block (backpressure) or drop (shed + count)")
+	lateness := fs.Duration("lateness", 0, "serve mode: watermark lateness bound for out-of-order readings (0 = one window)")
+	bootstrap := fs.Duration("bootstrap", 24*time.Hour, "serve mode: leading event time buffered per deployment to seed model states")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listen != "" {
+		if fs.NArg() > 1 {
+			return fmt.Errorf("usage: sentinel -listen addr [flags] [ndjson-file | -]")
+		}
+		return runServe(serveOptions{
+			listen:    *listen,
+			tcp:       *tcpAddr,
+			shards:    *shards,
+			queueLen:  *queueLen,
+			overflow:  *overflow,
+			lateness:  *lateness,
+			bootstrap: *bootstrap,
+			window:    *window,
+			states:    *states,
+			seed:      *seed,
+			asJSON:    *asJSON,
+			source:    fs.Arg(0),
+		}, stdin, out, errOut)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: sentinel [flags] <trace.csv | ->")

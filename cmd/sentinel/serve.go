@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"sensorguard"
+)
+
+// serveOptions parameterise the -listen serve mode.
+type serveOptions struct {
+	listen    string // HTTP address (ingest + report + metrics)
+	tcp       string // optional line-delimited TCP ingest address
+	shards    int
+	queueLen  int
+	overflow  string
+	lateness  time.Duration
+	bootstrap time.Duration
+	window    time.Duration
+	states    int
+	seed      int64
+	asJSON    bool
+	source    string // optional NDJSON source: "-" = stdin, else a file path
+}
+
+// runServe is the streaming server: live readings arrive over HTTP POST
+// /ingest, the TCP listener, and/or an NDJSON source stream (stdin or a
+// file); the sharded fleet windows and detects them; /report/{deployment}
+// serves live diagnoses and /metrics the shard instruments.
+//
+// With a source stream the run is a bounded job: when the source hits EOF
+// the fleet is drained and every deployment's diagnosis is printed, exactly
+// like the offline mode — the CLI pipeline
+//
+//	gdigen -stream | sentinel -listen :8080 -
+//
+// is the live equivalent of gdigen | sentinel -. Without a source the
+// server runs until SIGINT/SIGTERM, then drains and reports.
+func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
+	policy, err := sensorguard.ParseOverflowPolicy(o.overflow)
+	if err != nil {
+		return err
+	}
+	metrics := sensorguard.NewMetricsRegistry()
+	pool, err := sensorguard.NewFleet(sensorguard.FleetConfig{
+		Shards:    o.shards,
+		QueueLen:  o.queueLen,
+		Policy:    policy,
+		Window:    o.window,
+		Lateness:  o.lateness,
+		Bootstrap: o.bootstrap,
+		States:    o.states,
+		Seed:      o.seed,
+		Metrics:   metrics,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv, err := sensorguard.ServeFleet(o.listen, pool, metrics)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(errOut, "sentinel: serving ingest on http://%s/ingest, reports on /report/{deployment}, metrics on /metrics\n", srv.Addr())
+
+	if o.tcp != "" {
+		tcpSrv, err := sensorguard.ServeIngestTCP(o.tcp, pool)
+		if err != nil {
+			return err
+		}
+		defer tcpSrv.Close()
+		fmt.Fprintf(errOut, "sentinel: accepting NDJSON readings on tcp://%s\n", tcpSrv.Addr())
+	}
+
+	if o.source != "" {
+		in := stdin
+		if o.source != "-" {
+			f, err := os.Open(o.source)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		st, err := sensorguard.ReadIngestStream(in, pool)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "sentinel: source stream done (accepted %d, rejected %d, dropped %d)\n",
+			st.Accepted, st.Rejected, st.Dropped)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		signal.Stop(sig)
+		fmt.Fprintln(errOut, "sentinel: shutting down, draining fleet")
+	}
+
+	pool.Drain()
+	return printFleetReports(pool, o.asJSON, out, errOut)
+}
+
+// printFleetReports renders every deployment's diagnosis after a drain. In
+// JSON mode a single deployment prints the bare report — byte-identical to
+// the offline mode's output on the same readings — and multiple deployments
+// print an object keyed by deployment.
+func printFleetReports(pool *sensorguard.Fleet, asJSON bool, out, errOut io.Writer) error {
+	deps := pool.Deployments()
+	if len(deps) == 0 {
+		fmt.Fprintln(errOut, "sentinel: no readings received")
+		return nil
+	}
+	if asJSON {
+		multi := len(deps) > 1
+		if multi {
+			fmt.Fprintln(out, "{")
+		}
+		for i, dep := range deps {
+			rep, err := pool.Report(dep)
+			if err != nil {
+				return fmt.Errorf("deployment %s: %w", dep, err)
+			}
+			data, err := rep.MarshalIndentJSON()
+			if err != nil {
+				return err
+			}
+			if multi {
+				comma := ","
+				if i == len(deps)-1 {
+					comma = ""
+				}
+				fmt.Fprintf(out, "%q: %s%s\n", dep, data, comma)
+			} else {
+				fmt.Fprintln(out, string(data))
+			}
+		}
+		if multi {
+			fmt.Fprintln(out, "}")
+		}
+		return nil
+	}
+	for _, dep := range deps {
+		st, err := pool.Status(dep)
+		if err != nil {
+			return fmt.Errorf("deployment %s: %w", dep, err)
+		}
+		fmt.Fprintf(out, "deployment %s (shard %d):\n", dep, st.Shard)
+		if st.Err != "" {
+			fmt.Fprintf(out, "  pipeline error: %s\n", st.Err)
+			continue
+		}
+		rep, err := pool.Report(dep)
+		if err != nil {
+			return fmt.Errorf("deployment %s: %w", dep, err)
+		}
+		fmt.Fprintf(out, "  windows processed: %d (skipped %d)\n", st.Detector.Steps, st.Detector.SkippedWindows)
+		fmt.Fprintf(out, "  anomaly detected:  %v\n", rep.Detected)
+		fmt.Fprintf(out, "  overall diagnosis: %v\n", rep.Overall())
+		fmt.Fprintf(out, "  network analysis:  %v (confidence %.2f)\n", rep.Network.Kind, rep.Network.Confidence)
+		for _, d := range sortedSensorDiagnoses(rep) {
+			fmt.Fprintf(out, "  sensor %d: %v (confidence %.2f)\n", d.Sensor, d.Kind, d.Confidence)
+		}
+		if len(rep.Suspects) > 0 {
+			fmt.Fprintf(out, "  open tracks: sensors %v\n", rep.Suspects)
+		}
+	}
+	return nil
+}
+
+func sortedSensorDiagnoses(rep sensorguard.Report) []sensorguard.SensorDiagnosis {
+	ids := make([]int, 0, len(rep.Sensors))
+	for id := range rep.Sensors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]sensorguard.SensorDiagnosis, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, rep.Sensors[id])
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sensorguard"
+)
+
+// traceNDJSON converts a CSV trace file into the NDJSON ingest stream that
+// gdigen -stream would emit for it, in trace order.
+func traceNDJSON(t *testing.T, path, deployment string) []byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := sensorguard.ReadTraceCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range tr.Readings {
+		line, err := sensorguard.EncodeIngestLine(sensorguard.IngestReading{
+			Deployment: deployment,
+			Reading:    r,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestServeEquivalentToOffline is the serving contract: streaming a trace
+// in order through the listen mode produces byte-identical JSON to the
+// offline batch run on the same trace.
+func TestServeEquivalentToOffline(t *testing.T) {
+	path := writeTestTrace(t)
+
+	var offline bytes.Buffer
+	if err := run([]string{"-json", path}, nil, &offline, io.Discard); err != nil {
+		t.Fatalf("offline run: %v", err)
+	}
+
+	stream := traceNDJSON(t, path, "gdi")
+	var served bytes.Buffer
+	if err := run([]string{"-listen", "127.0.0.1:0", "-json", "-"},
+		bytes.NewReader(stream), &served, io.Discard); err != nil {
+		t.Fatalf("serve run: %v", err)
+	}
+
+	if !bytes.Equal(served.Bytes(), offline.Bytes()) {
+		t.Errorf("served JSON differs from offline JSON\n--- served\n%s\n--- offline\n%s",
+			served.String(), offline.String())
+	}
+}
+
+// TestServeTextReport drains an NDJSON source file and prints per-deployment
+// text summaries.
+func TestServeTextReport(t *testing.T) {
+	path := writeTestTrace(t)
+	src := filepath.Join(t.TempDir(), "stream.ndjson")
+	if err := os.WriteFile(src, traceNDJSON(t, path, "west-ridge"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-listen", "127.0.0.1:0", "-shards", "2", src},
+		nil, &out, &errOut); err != nil {
+		t.Fatalf("serve run: %v\nstderr: %s", err, errOut.String())
+	}
+	for _, want := range []string{
+		"deployment west-ridge",
+		"overall diagnosis: stuck-at",
+		"sensor 6: stuck-at",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("serve output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "source stream done") {
+		t.Errorf("stderr missing stream stats: %s", errOut.String())
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad overflow policy": {"-listen", "127.0.0.1:0", "-overflow", "sometimes", "-"},
+		"too many args":       {"-listen", "127.0.0.1:0", "a.ndjson", "b.ndjson"},
+		"missing source file": {"-listen", "127.0.0.1:0", "no-such-file.ndjson"},
+	} {
+		if err := run(args, strings.NewReader(""), io.Discard, io.Discard); err == nil {
+			t.Errorf("%s: run succeeded, want error", name)
+		}
+	}
+}

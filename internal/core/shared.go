@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sync"
+
+	"sensorguard/internal/classify"
+	"sensorguard/internal/network"
+	"sensorguard/internal/vecmat"
+)
+
+// Shared wraps a Detector for concurrent use. The Detector itself is
+// single-owner by design (one collector drives it), but a serving system has
+// two kinds of callers: the shard worker stepping windows through it, and
+// HTTP handlers snapshotting reports, stats, and quarantine sets while the
+// stream is live. Shared serialises both behind one mutex so snapshots are
+// taken between — never inside — windows.
+type Shared struct {
+	mu sync.Mutex
+	d  *Detector
+}
+
+// NewShared wraps a detector. The caller must stop using the bare detector
+// afterwards.
+func NewShared(d *Detector) *Shared {
+	return &Shared{d: d}
+}
+
+// Step folds in one observation window.
+func (s *Shared) Step(w network.Window) (StepResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Step(w)
+}
+
+// Report runs the structural classification on the current models.
+func (s *Shared) Report() (Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Report()
+}
+
+// Stats returns a snapshot of the detector's internal counters.
+func (s *Shared) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Stats()
+}
+
+// Quarantined returns the sensors currently excluded from the observable
+// estimate, in ascending order.
+func (s *Shared) Quarantined() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Quarantined()
+}
+
+// StateAttributes returns the attribute vector of every current model state,
+// keyed by state ID.
+func (s *Shared) StateAttributes() map[int]vecmat.Vector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.StateAttributes()
+}
+
+// Diagnose runs the per-sensor classification for one tracked sensor.
+func (s *Shared) Diagnose(sensorID int) (classify.SensorDiagnosis, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.d.ModelCE(sensorID)
+	if !ok {
+		return classify.SensorDiagnosis{}, false
+	}
+	diag, err := classify.Sensor(sensorID, snap, s.d.StateAttributes(),
+		s.d.ErrorProfile(sensorID), s.d.cfg.Classify)
+	if err != nil {
+		return classify.SensorDiagnosis{}, false
+	}
+	return diag, true
+}

@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sensorguard/internal/gdi"
+	"sensorguard/internal/ingest"
+)
+
+// BenchmarkIngestThroughput measures the full serving path — Submit →
+// shard queue → streaming windower → detector step — in readings/sec.
+// Readings spread over 16 deployments so every shard stays busy, and each
+// replay pass shifts event time forward so windows keep closing.
+func BenchmarkIngestThroughput(b *testing.B) {
+	cfg := gdi.DefaultGenerateConfig()
+	cfg.Days = 2
+	tr, err := gdi.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const deployments = 16
+	span := tr.Readings[len(tr.Readings)-1].Time + time.Hour
+
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			pool, err := New(Config{Shards: shards, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := tr.Readings[i%len(tr.Readings)]
+				r.Time += time.Duration(i/len(tr.Readings)) * span
+				if err := pool.Submit(ingest.Reading{
+					Deployment: fmt.Sprintf("dep-%d", i%deployments),
+					Reading:    r,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pool.Drain()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "readings/sec")
+		})
+	}
+}

@@ -1,0 +1,509 @@
+// Package fleet shards live sensor streams across a pool of detector
+// workers: readings are routed by deployment key to one of N shards, each a
+// single goroutine owning the streaming windowers and detectors of its
+// deployments. Queues are bounded with an explicit overflow policy
+// (backpressure or load shedding), shutdown drains every queue and flushes
+// every open window, and per-shard gauges/counters surface queue depth,
+// watermark lag, drops, and windows emitted through internal/obs.
+//
+// One goroutine per shard keeps every detector single-writer — the paper's
+// collector-side pipeline is inherently sequential per deployment — while
+// deployments spread across shards for parallelism. Live diagnosis snapshots
+// (Report, Status) cross into a shard through core.Shared, which serialises
+// them against the worker between windows.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"sensorguard/internal/cluster"
+	"sensorguard/internal/core"
+	"sensorguard/internal/ingest"
+	"sensorguard/internal/network"
+	"sensorguard/internal/obs"
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+// Policy says what Submit does when a shard queue is full.
+type Policy int
+
+const (
+	// Block applies backpressure: Submit waits for queue space, slowing
+	// the producer to the detector's pace.
+	Block Policy = iota
+	// DropNewest sheds load: Submit drops the incoming reading, counts it,
+	// and returns ingest.ErrDropped.
+	DropNewest
+)
+
+// ParsePolicy maps the CLI spelling ("block" | "drop") to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop":
+		return DropNewest, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown overflow policy %q (want block or drop)", s)
+}
+
+// Config parameterises the pool.
+type Config struct {
+	// Shards is the worker count (default 4). Deployment keys hash onto
+	// shards, so more shards than active deployments buys nothing.
+	Shards int
+	// QueueLen bounds each shard's queue (default 1024 readings).
+	QueueLen int
+	// Policy is the overflow behaviour (default Block).
+	Policy Policy
+	// Window is the observation window duration w (default 1h).
+	Window time.Duration
+	// Lateness bounds how far behind the newest event time a reading may
+	// arrive and still join its window (default Window).
+	Lateness time.Duration
+	// Bootstrap is how much leading event time per deployment is buffered
+	// to seed the model states by k-means — the paper's offline
+	// clustering pass over the first day (default 24h).
+	Bootstrap time.Duration
+	// States is the k of the bootstrap k-means (default 6, the paper's M).
+	States int
+	// Seed freezes the bootstrap clustering.
+	Seed int64
+	// NewDetector builds a deployment's detector from its bootstrap
+	// seeds. Default: core.NewDetector(core.DefaultConfig(seeds)) with
+	// Window installed.
+	NewDetector func(seeds []vecmat.Vector) (*core.Detector, error)
+	// Metrics, when non-nil, receives the pool and per-shard metrics.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.Window <= 0 {
+		c.Window = time.Hour
+	}
+	if c.Lateness <= 0 {
+		c.Lateness = c.Window
+	}
+	if c.Bootstrap <= 0 {
+		c.Bootstrap = 24 * time.Hour
+	}
+	if c.States <= 0 {
+		c.States = 6
+	}
+	if c.NewDetector == nil {
+		window := c.Window
+		c.NewDetector = func(seeds []vecmat.Vector) (*core.Detector, error) {
+			cfg := core.DefaultConfig(seeds)
+			cfg.Window = window
+			return core.NewDetector(cfg)
+		}
+	}
+	return c
+}
+
+// Errors a Report caller distinguishes.
+var (
+	// ErrClosed reports a Submit after Drain began.
+	ErrClosed = errors.New("fleet: pool draining")
+	// ErrUnknownDeployment reports a query for a deployment that never
+	// delivered a reading.
+	ErrUnknownDeployment = errors.New("fleet: unknown deployment")
+	// ErrBootstrapping reports a query for a deployment still buffering
+	// its bootstrap horizon (no detector yet).
+	ErrBootstrapping = errors.New("fleet: deployment still bootstrapping")
+)
+
+// Pool is the sharded collector fleet.
+type Pool struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu      sync.RWMutex // serialises Submit against Drain
+	closed  bool
+	drained chan struct{}
+
+	readings *obs.Counter
+}
+
+// New builds and starts the pool; callers must Drain it when done.
+func New(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Lateness < 0 {
+		return nil, errors.New("fleet: lateness must be non-negative")
+	}
+	p := &Pool{cfg: cfg, drained: make(chan struct{})}
+	if reg := cfg.Metrics; reg != nil {
+		p.readings = reg.Counter("fleet_readings_total", "readings accepted into shard queues")
+	}
+	p.shards = make([]*shard, cfg.Shards)
+	for i := range p.shards {
+		p.shards[i] = newShard(i, p)
+		p.wg.Add(1)
+		go p.shards[i].run()
+	}
+	return p, nil
+}
+
+// shardIndex routes a deployment key to its shard: FNV-1a over the key, so
+// one deployment's stream is always handled by the same worker, in order.
+func shardIndex(deployment string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(deployment))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Submit routes one reading to its deployment's shard. It returns ErrClosed
+// after Drain, ingest.ErrDropped when the DropNewest policy sheds the
+// reading, and otherwise blocks until the shard accepts it.
+func (p *Pool) Submit(r ingest.Reading) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	s := p.shards[shardIndex(r.Deployment, len(p.shards))]
+	if p.cfg.Policy == DropNewest {
+		select {
+		case s.queue <- r:
+		default:
+			s.m.dropped.Inc()
+			return ingest.ErrDropped
+		}
+	} else {
+		s.queue <- r
+	}
+	p.readings.Inc()
+	s.m.depth.Set(float64(len(s.queue)))
+	return nil
+}
+
+// Drain stops intake, lets every shard work off its queue, flushes every
+// open window through the detectors, and returns when all workers exit.
+// Safe to call more than once.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.drained
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, s := range p.shards {
+		close(s.queue)
+	}
+	p.wg.Wait()
+	close(p.drained)
+}
+
+// Report runs the structural diagnosis on a deployment's live detector.
+func (p *Pool) Report(deployment string) (core.Report, error) {
+	d, err := p.lookup(deployment)
+	if err != nil {
+		return core.Report{}, err
+	}
+	det, derr := d.snapshot()
+	if derr != nil {
+		return core.Report{}, derr
+	}
+	if det == nil {
+		return core.Report{}, ErrBootstrapping
+	}
+	return det.Report()
+}
+
+// Status is the live state of one deployment.
+type Status struct {
+	// Deployment is the key; Shard the worker that owns it.
+	Deployment string `json:"deployment"`
+	Shard      int    `json:"shard"`
+	// Bootstrapped reports whether the detector is running (false while
+	// the bootstrap horizon is still buffering).
+	Bootstrapped bool `json:"bootstrapped"`
+	// Detector is the counter snapshot (zero until bootstrapped).
+	Detector core.Stats `json:"detector"`
+	// Err is the terminal pipeline error, if the deployment died.
+	Err string `json:"err,omitempty"`
+}
+
+// Status returns the live state of one deployment.
+func (p *Pool) Status(deployment string) (Status, error) {
+	d, err := p.lookup(deployment)
+	if err != nil {
+		return Status{}, err
+	}
+	st := Status{Deployment: deployment, Shard: shardIndex(deployment, len(p.shards))}
+	det, derr := d.snapshot()
+	if derr != nil {
+		st.Err = derr.Error()
+	}
+	if det != nil {
+		st.Bootstrapped = true
+		st.Detector = det.Stats()
+	}
+	return st, nil
+}
+
+// Deployments lists every deployment seen, sorted.
+func (p *Pool) Deployments() []string {
+	var out []string
+	for _, s := range p.shards {
+		s.mu.RLock()
+		for name := range s.deployments {
+			out = append(out, name)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Pool) lookup(deployment string) (*deployment, error) {
+	s := p.shards[shardIndex(deployment, len(p.shards))]
+	s.mu.RLock()
+	d := s.deployments[deployment]
+	s.mu.RUnlock()
+	if d == nil {
+		return nil, ErrUnknownDeployment
+	}
+	return d, nil
+}
+
+// shardMetrics are one shard's instruments; all fields are nil (and no-ops)
+// when the pool has no registry.
+type shardMetrics struct {
+	depth   *obs.Gauge
+	lag     *obs.Gauge
+	dropped *obs.Counter
+	late    *obs.Counter
+	windows *obs.Counter
+}
+
+type shard struct {
+	id    int
+	pool  *Pool
+	queue chan ingest.Reading
+	m     shardMetrics
+
+	mu          sync.RWMutex // guards the deployments map (worker writes, Report reads)
+	deployments map[string]*deployment
+}
+
+func newShard(id int, p *Pool) *shard {
+	s := &shard{
+		id:          id,
+		pool:        p,
+		queue:       make(chan ingest.Reading, p.cfg.QueueLen),
+		deployments: make(map[string]*deployment),
+	}
+	if reg := p.cfg.Metrics; reg != nil {
+		prefix := fmt.Sprintf("fleet_shard%d_", id)
+		s.m = shardMetrics{
+			depth:   reg.Gauge(prefix+"queue_depth", "readings waiting in this shard's queue"),
+			lag:     reg.Gauge(prefix+"lag_windows", "windows buffered behind the watermark on this shard"),
+			dropped: reg.Counter(prefix+"dropped_total", "readings shed by the overflow policy"),
+			late:    reg.Counter(prefix+"late_dropped_total", "readings dropped for arriving after their window closed"),
+			windows: reg.Counter(prefix+"windows_total", "observation windows stepped through detectors"),
+		}
+	}
+	return s
+}
+
+// deployment is one sensor network's streaming state, owned by its shard
+// worker. wd and pending are worker-only; det and err cross the concurrency
+// boundary (Report/Status snapshot them) and are guarded by mu.
+type deployment struct {
+	name    string
+	wd      *ingest.Windower
+	pending []sensor.Reading
+	first   time.Duration
+	started bool
+	late    int // wd.Late() already exported to the counter
+
+	mu  sync.Mutex
+	det *core.Shared
+	err error
+}
+
+// snapshot returns the detector handle and terminal error under the lock.
+func (d *deployment) snapshot() (*core.Shared, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.det, d.err
+}
+
+func (d *deployment) fail(err error) {
+	d.mu.Lock()
+	d.err = err
+	d.mu.Unlock()
+}
+
+func (d *deployment) detector() *core.Shared {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.det
+}
+
+func (s *shard) run() {
+	defer s.pool.wg.Done()
+	for r := range s.queue {
+		s.m.depth.Set(float64(len(s.queue)))
+		s.handle(r)
+	}
+	s.drain()
+	s.m.depth.Set(0)
+	s.m.lag.Set(0)
+}
+
+func (s *shard) deployment(name string) *deployment {
+	s.mu.RLock()
+	d := s.deployments[name]
+	s.mu.RUnlock()
+	if d != nil {
+		return d
+	}
+	d = &deployment{name: name}
+	s.mu.Lock()
+	s.deployments[name] = d
+	s.mu.Unlock()
+	return d
+}
+
+func (s *shard) handle(r ingest.Reading) {
+	d := s.deployment(r.Deployment)
+	if _, err := d.snapshot(); err != nil {
+		return // deployment died; swallow its stream
+	}
+	if d.detector() == nil {
+		if !d.started {
+			d.started = true
+			d.first = r.Time
+		}
+		if r.Time < d.first+s.pool.cfg.Bootstrap {
+			d.pending = append(d.pending, r.Reading)
+			return
+		}
+		if err := s.bootstrap(d); err != nil {
+			d.fail(fmt.Errorf("bootstrap: %w", err))
+			return
+		}
+	}
+	s.feed(d, r.Reading)
+	s.updateLag()
+}
+
+// bootstrap seeds the model states by k-means over the buffered horizon —
+// the same clustering pass the offline CLI runs over the first day — then
+// replays the buffer through the fresh windower and detector.
+func (s *shard) bootstrap(d *deployment) error {
+	cfg := s.pool.cfg
+	pts := make([]vecmat.Vector, 0, len(d.pending))
+	for _, r := range d.pending {
+		if r.Time < d.first+cfg.Bootstrap {
+			pts = append(pts, r.Values)
+		}
+	}
+	seeds, err := cluster.KMeans(pts, cfg.States, rand.New(rand.NewSource(cfg.Seed)), 100)
+	if err != nil {
+		return fmt.Errorf("seed states: %w", err)
+	}
+	det, err := cfg.NewDetector(seeds)
+	if err != nil {
+		return err
+	}
+	wd, err := ingest.NewWindower(cfg.Window, cfg.Lateness)
+	if err != nil {
+		return err
+	}
+	d.wd = wd
+	d.mu.Lock()
+	d.det = core.NewShared(det)
+	d.mu.Unlock()
+	pending := d.pending
+	d.pending = nil
+	for _, r := range pending {
+		s.feed(d, r)
+	}
+	return nil
+}
+
+func (s *shard) feed(d *deployment, r sensor.Reading) {
+	for _, w := range d.wd.Add(r) {
+		s.step(d, w)
+	}
+	if late := d.wd.Late(); late != d.late {
+		s.m.late.Add(uint64(late - d.late))
+		d.late = late
+	}
+}
+
+func (s *shard) step(d *deployment, w network.Window) {
+	det, err := d.snapshot()
+	if err != nil {
+		return
+	}
+	if _, err := det.Step(w); err != nil {
+		d.fail(fmt.Errorf("window %d: %w", w.Index, err))
+		return
+	}
+	s.m.windows.Inc()
+}
+
+// updateLag publishes the shard's total event-time lag: windows buffered
+// behind the watermark across its deployments.
+func (s *shard) updateLag() {
+	total := 0
+	s.mu.RLock()
+	for _, d := range s.deployments {
+		if d.wd != nil {
+			total += d.wd.Pending()
+		}
+	}
+	s.mu.RUnlock()
+	s.m.lag.Set(float64(total))
+}
+
+// drain finishes every deployment once the queue closes: deployments still
+// inside their bootstrap horizon are seeded from whatever arrived (matching
+// the offline path on traces shorter than the horizon), then every open
+// window is flushed through the detector.
+func (s *shard) drain() {
+	s.mu.RLock()
+	deps := make([]*deployment, 0, len(s.deployments))
+	for _, d := range s.deployments {
+		deps = append(deps, d)
+	}
+	s.mu.RUnlock()
+	sort.Slice(deps, func(i, j int) bool { return deps[i].name < deps[j].name })
+	for _, d := range deps {
+		if _, err := d.snapshot(); err != nil {
+			continue
+		}
+		if d.detector() == nil {
+			if len(d.pending) == 0 {
+				continue
+			}
+			if err := s.bootstrap(d); err != nil {
+				d.fail(fmt.Errorf("bootstrap: %w", err))
+				continue
+			}
+		}
+		for _, w := range d.wd.Flush() {
+			s.step(d, w)
+		}
+	}
+}

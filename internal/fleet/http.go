@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"sensorguard/internal/ingest"
+	"sensorguard/internal/obs"
+)
+
+// Handler builds the serve-mode HTTP surface on top of the observability
+// mux, so ingestion, live diagnosis, and /metrics share one listener:
+//
+//	POST /ingest                NDJSON reading stream → ingest.StreamStats
+//	GET  /report/{deployment}   live structural diagnosis as JSON
+//	GET  /status/{deployment}   live counters/bootstrap state as JSON
+//	GET  /deployments           the deployments seen, as a JSON list
+//	/metrics, /metrics.json, /debug/vars, /healthz, /debug/pprof  (from obs)
+//
+// reg may be nil, in which case only the ingest/report routes are mounted.
+func Handler(p *Pool, reg *obs.Registry) http.Handler {
+	var mux *http.ServeMux
+	if reg != nil {
+		mux = obs.NewMux(reg)
+	} else {
+		mux = http.NewServeMux()
+	}
+	mux.Handle("POST /ingest", ingest.IngestHandler(p))
+	mux.HandleFunc("GET /report/{deployment}", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := p.Report(r.PathValue("deployment"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		data, err := rep.MarshalIndentJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("GET /status/{deployment}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := p.Status(r.PathValue("deployment"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /deployments", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, p.Deployments())
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownDeployment):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrBootstrapping):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

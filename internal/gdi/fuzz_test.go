@@ -2,6 +2,7 @@ package gdi
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -16,11 +17,29 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("a,b\n1,2\n")
 	f.Add("time_seconds,sensor,temperature,humidity\nxx,0,1,2\n")
 	f.Add("time_seconds,sensor,t\n1e308,99,-0\n")
+	f.Add("time_seconds,sensor,t\nNaN,0,1\n")
+	f.Add("time_seconds,sensor,t\nInf,0,1\n")
+	f.Add("time_seconds,sensor,t\n-300,0,1\n")
+	f.Add("time_seconds,sensor,t\n1,0,NaN\n")
+	f.Add("time_seconds,sensor,t\n1,0,-Inf\n")
+	f.Add("time_seconds,sensor,t\n1,0," + strings.Repeat("9", 1<<12) + "\n")
+	f.Add("time_seconds,sensor,t\n1," + strings.Repeat("1", 400) + ",2\n")
+	f.Add("time_seconds,sensor,t\n\"1\n2\",0,3\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := ReadCSV(strings.NewReader(input))
 		if err != nil {
 			return // rejected inputs are fine; panics are not
+		}
+		for _, r := range tr.Readings {
+			if r.Time < 0 {
+				t.Fatalf("accepted negative timestamp %v", r.Time)
+			}
+			for _, v := range r.Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted non-finite value %v", v)
+				}
+			}
 		}
 		var buf bytes.Buffer
 		if err := WriteCSV(&buf, tr); err != nil {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"time"
 
@@ -103,9 +104,13 @@ func WriteCSV(w io.Writer, tr Trace) error {
 	return cw.Error()
 }
 
+// maxSeconds is the largest timestamp (in seconds) that converts to a
+// time.Duration without overflowing.
+const maxSeconds = float64(math.MaxInt64) / float64(time.Second)
+
 // ReadCSV decodes a trace written by WriteCSV (or an external trace in the
-// same schema). Rows with unparsable fields are rejected with their line
-// number.
+// same schema). Rows with unparsable fields, non-finite or out-of-range
+// timestamps, or non-finite values are rejected with their line number.
 func ReadCSV(r io.Reader) (Trace, error) {
 	cr := csv.NewReader(r)
 	// Do the field-count check ourselves: csv.Reader's ErrFieldCount hides
@@ -137,6 +142,11 @@ func ReadCSV(r io.Reader) (Trace, error) {
 		if err != nil {
 			return Trace{}, fmt.Errorf("gdi: line %d: bad time %q", line, rec[0])
 		}
+		// Converting an out-of-range float to time.Duration is
+		// implementation-defined, so bound the timestamp before converting.
+		if math.IsNaN(secs) || secs < 0 || secs > maxSeconds {
+			return Trace{}, fmt.Errorf("gdi: line %d: time %q outside [0, %g]", line, rec[0], maxSeconds)
+		}
 		id, err := strconv.Atoi(rec[1])
 		if err != nil {
 			return Trace{}, fmt.Errorf("gdi: line %d: bad sensor %q", line, rec[1])
@@ -146,6 +156,9 @@ func ReadCSV(r io.Reader) (Trace, error) {
 			v, err := strconv.ParseFloat(rec[2+i], 64)
 			if err != nil {
 				return Trace{}, fmt.Errorf("gdi: line %d: bad value %q", line, rec[2+i])
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Trace{}, fmt.Errorf("gdi: line %d: non-finite value %q", line, rec[2+i])
 			}
 			values[i] = v
 		}

@@ -179,6 +179,11 @@ func TestReadCSVErrors(t *testing.T) {
 		{"bad time", "time_seconds,sensor,temperature\nxx,1,2\n"},
 		{"bad sensor", "time_seconds,sensor,temperature\n1,xx,2\n"},
 		{"bad value", "time_seconds,sensor,temperature\n1,1,xx\n"},
+		{"nan time", "time_seconds,sensor,temperature\nNaN,1,2\n"},
+		{"negative time", "time_seconds,sensor,temperature\n-5,1,2\n"},
+		{"overflow time", "time_seconds,sensor,temperature\n1e300,1,2\n"},
+		{"inf value", "time_seconds,sensor,temperature\n1,1,Inf\n"},
+		{"nan value", "time_seconds,sensor,temperature\n1,1,NaN\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,134 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// maxLine bounds one NDJSON line (a reading with a few attributes fits in
+// well under 1 KiB; 1 MiB leaves room for wide attribute vectors).
+const maxLine = 1 << 20
+
+// StreamStats counts the outcome of one NDJSON stream.
+type StreamStats struct {
+	// Accepted readings were decoded and enqueued.
+	Accepted int `json:"accepted"`
+	// Rejected lines failed to decode or validate.
+	Rejected int `json:"rejected"`
+	// Dropped readings were shed by the consumer's overflow policy.
+	Dropped int `json:"dropped"`
+}
+
+// ReadStream decodes NDJSON readings from r and submits each to c until EOF.
+// Undecodable lines are counted, not fatal (one bad producer must not kill a
+// shared socket); consumer errors other than ErrDropped are fatal.
+func ReadStream(r io.Reader, c Consumer) (StreamStats, error) {
+	var st StreamStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rd, err := DecodeLine(line)
+		if err != nil {
+			st.Rejected++
+			continue
+		}
+		switch err := c.Submit(rd); {
+		case err == nil:
+			st.Accepted++
+		case errors.Is(err, ErrDropped):
+			st.Dropped++
+		default:
+			return st, err
+		}
+	}
+	return st, sc.Err()
+}
+
+// IngestHandler returns the HTTP handler for POST /ingest: the request body
+// is an NDJSON stream of readings, the response a JSON StreamStats.
+func IngestHandler(c Consumer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, err := ReadStream(r.Body, c)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(st)
+	}
+}
+
+// TCPServer accepts line-delimited NDJSON readings on a TCP listener — the
+// mote-gateway-facing ingestion path, one stream per connection.
+type TCPServer struct {
+	ln net.Listener
+	c  Consumer
+	wg sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// ServeTCP starts accepting connections on addr (e.g. ":9000",
+// "127.0.0.1:0") in the background, feeding decoded readings to c.
+func ServeTCP(addr string, c Consumer) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{ln: ln, c: c, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+func (s *TCPServer) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			_, _ = ReadStream(conn, s.c)
+		}()
+	}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections, severs any still open (an idle
+// producer must not stall shutdown), and waits for in-flight streams.
+func (s *TCPServer) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}

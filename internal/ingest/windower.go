@@ -1,0 +1,122 @@
+package ingest
+
+import (
+	"errors"
+	"time"
+
+	"sensorguard/internal/network"
+	"sensorguard/internal/sensor"
+)
+
+// Windower assembles observation windows from a stream whose arrival order
+// need not match event time — the live generalisation of network.Windower,
+// which requires in-order input and closes a window the moment any later
+// reading appears.
+//
+// Event-time progress is tracked by a watermark: the maximum event time seen
+// so far minus the configured lateness bound. A window [start, end) stays
+// open — buffering readings in arrival order — until the watermark passes
+// its end, at which point it is emitted; gaps are emitted as empty windows so
+// window indices stay contiguous, exactly as network.Windower does. Readings
+// for windows already emitted are dropped and counted as late.
+//
+// With in-order input and any lateness ≥ 0, the emitted window sequence is
+// identical to network.WindowAll over the complete trace (the equivalence
+// the serving e2e test pins down).
+//
+// A Windower is not safe for concurrent use; in the fleet each shard worker
+// owns its windowers.
+type Windower struct {
+	width    time.Duration
+	lateness time.Duration
+
+	open     map[int][]sensor.Reading
+	started  bool
+	nextEmit int           // lowest window index not yet emitted
+	maxIndex int           // highest window index holding a reading
+	maxTime  time.Duration // watermark anchor: max event time seen
+	late     int
+}
+
+// NewWindower builds a streaming windower with window duration width and a
+// lateness bound: a reading may arrive up to lateness after the newest event
+// time seen and still land in its window.
+func NewWindower(width, lateness time.Duration) (*Windower, error) {
+	if width <= 0 {
+		return nil, errors.New("ingest: window width must be positive")
+	}
+	if lateness < 0 {
+		return nil, errors.New("ingest: lateness must be non-negative")
+	}
+	return &Windower{
+		width:    width,
+		lateness: lateness,
+		open:     make(map[int][]sensor.Reading),
+	}, nil
+}
+
+// Add folds one reading in and returns the windows (possibly empty gap
+// windows, in index order) that the advancing watermark has closed.
+func (w *Windower) Add(r sensor.Reading) []network.Window {
+	idx := network.WindowIndex(r.Time, w.width)
+	if !w.started {
+		w.started = true
+		w.nextEmit = idx
+		w.maxIndex = idx
+		w.maxTime = r.Time
+	}
+	if idx < w.nextEmit {
+		w.late++
+		return nil
+	}
+	w.open[idx] = append(w.open[idx], r)
+	if idx > w.maxIndex {
+		w.maxIndex = idx
+	}
+	if r.Time > w.maxTime {
+		w.maxTime = r.Time
+	}
+	return w.advance()
+}
+
+// advance emits every window whose end the watermark has passed. The window
+// containing maxTime always ends after the watermark, so the loop cannot run
+// past the data.
+func (w *Windower) advance() []network.Window {
+	watermark := w.maxTime - w.lateness
+	var out []network.Window
+	for time.Duration(w.nextEmit+1)*w.width <= watermark {
+		out = append(out, network.BuildWindow(w.nextEmit, w.width, w.open[w.nextEmit]))
+		delete(w.open, w.nextEmit)
+		w.nextEmit++
+	}
+	return out
+}
+
+// Flush emits every remaining window — open or gap — up to the highest index
+// holding a reading, and resets the windower. Called on drain/shutdown.
+func (w *Windower) Flush() []network.Window {
+	if !w.started {
+		return nil
+	}
+	var out []network.Window
+	for i := w.nextEmit; i <= w.maxIndex; i++ {
+		out = append(out, network.BuildWindow(i, w.width, w.open[i]))
+	}
+	w.open = make(map[int][]sensor.Reading)
+	w.started = false
+	return out
+}
+
+// Pending returns the number of windows buffered but not yet emitted — the
+// event-time lag between the newest reading and the emission frontier.
+func (w *Windower) Pending() int {
+	if !w.started {
+		return 0
+	}
+	return w.maxIndex - w.nextEmit + 1
+}
+
+// Late returns the number of readings dropped for arriving after their
+// window was emitted.
+func (w *Windower) Late() int { return w.late }

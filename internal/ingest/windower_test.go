@@ -1,0 +1,191 @@
+package ingest
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"sensorguard/internal/network"
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+func reading(id int, t time.Duration) sensor.Reading {
+	return sensor.Reading{Sensor: id, Time: t, Values: vecmat.Vector{float64(id)}}
+}
+
+// windows drives a stream through the windower and returns everything
+// emitted, flush included.
+func windows(t *testing.T, wd *Windower, stream []sensor.Reading) []network.Window {
+	t.Helper()
+	var out []network.Window
+	for _, r := range stream {
+		out = append(out, wd.Add(r)...)
+	}
+	return append(out, wd.Flush()...)
+}
+
+// TestInOrderMatchesWindowAll is the in-order equivalence the serving e2e
+// relies on: for an ordered stream, the streaming windower must emit exactly
+// the windows of the offline network.WindowAll, for any lateness bound.
+func TestInOrderMatchesWindowAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var stream []sensor.Reading
+	tm := time.Duration(0)
+	for i := 0; i < 500; i++ {
+		tm += time.Duration(rng.Intn(20)) * time.Minute // occasional multi-window gaps
+		stream = append(stream, reading(i%5, tm))
+	}
+	// Canonical (time, sensor) order — the order a synchronous deployment
+	// emits and WindowAll sorts into.
+	network.SortReadings(stream)
+	want, err := network.WindowAll(stream, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lateness := range []time.Duration{0, 30 * time.Minute, 2 * time.Hour} {
+		wd, err := NewWindower(time.Hour, lateness)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := windows(t, wd, stream)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("lateness %v: emitted windows differ from WindowAll (%d vs %d)", lateness, len(got), len(want))
+		}
+		if wd.Late() != 0 {
+			t.Errorf("lateness %v: in-order stream counted %d late readings", lateness, wd.Late())
+		}
+	}
+}
+
+// TestOutOfOrderWithinLateness shuffles readings within the lateness bound:
+// every reading must still land in its window, and window contents must
+// match the sorted trace as sets.
+func TestOutOfOrderWithinLateness(t *testing.T) {
+	var stream []sensor.Reading
+	for i := 0; i < 240; i++ {
+		stream = append(stream, reading(i%4, time.Duration(i)*time.Minute))
+	}
+	// Shuffle within disjoint 20-reading blocks: arrival displacement is
+	// bounded by 19 minutes of event time, inside the 30m lateness bound.
+	shuffled := append([]sensor.Reading(nil), stream...)
+	rng := rand.New(rand.NewSource(3))
+	for base := 0; base+20 <= len(shuffled); base += 20 {
+		rng.Shuffle(20, func(i, j int) {
+			shuffled[base+i], shuffled[base+j] = shuffled[base+j], shuffled[base+i]
+		})
+	}
+	wd, err := NewWindower(time.Hour, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := windows(t, wd, shuffled)
+	if wd.Late() != 0 {
+		t.Fatalf("%d readings dropped despite displacement within lateness", wd.Late())
+	}
+	want, err := network.WindowAll(stream, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index || got[i].Start != want[i].Start || got[i].End != want[i].End {
+			t.Fatalf("window %d bounds differ: %+v vs %+v", i, got[i], want[i])
+		}
+		if len(got[i].Readings) != len(want[i].Readings) {
+			t.Fatalf("window %d holds %d readings, want %d", i, len(got[i].Readings), len(want[i].Readings))
+		}
+		network.SortReadings(got[i].Readings)
+		network.SortReadings(want[i].Readings)
+		if !reflect.DeepEqual(got[i].Readings, want[i].Readings) {
+			t.Fatalf("window %d contents differ", i)
+		}
+	}
+}
+
+// TestLateReadingsDropped checks the watermark actually closes windows: a
+// reading older than the watermark minus lateness is dropped and counted.
+func TestLateReadingsDropped(t *testing.T) {
+	wd, err := NewWindower(time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []network.Window
+	emitted = append(emitted, wd.Add(reading(0, 10*time.Minute))...)
+	emitted = append(emitted, wd.Add(reading(0, 70*time.Minute))...) // closes window 0
+	if len(emitted) != 1 || emitted[0].Index != 0 {
+		t.Fatalf("expected window 0 emitted, got %+v", emitted)
+	}
+	if out := wd.Add(reading(1, 20*time.Minute)); out != nil {
+		t.Fatalf("late reading emitted windows: %+v", out)
+	}
+	if wd.Late() != 1 {
+		t.Errorf("late count %d, want 1", wd.Late())
+	}
+	// A reading in the still-open window 1 is fine even though its time is
+	// behind the max seen.
+	if wd.Add(reading(1, 65*time.Minute)); wd.Late() != 1 {
+		t.Errorf("in-window out-of-order reading counted late")
+	}
+}
+
+// TestLatenessHoldsWindowsOpen checks the bounded-lateness contract: with
+// lateness L, a window stays open until the watermark (max time - L) passes
+// its end.
+func TestLatenessHoldsWindowsOpen(t *testing.T) {
+	wd, err := NewWindower(time.Hour, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.Add(reading(0, 10*time.Minute))
+	// 80m: watermark 50m < 60m end — window 0 must stay open.
+	if out := wd.Add(reading(0, 80*time.Minute)); len(out) != 0 {
+		t.Fatalf("window 0 closed before watermark passed: %+v", out)
+	}
+	// Straggler for window 0, 75 minutes of event time later.
+	wd.Add(reading(1, 45*time.Minute))
+	// 95m: watermark 65m ≥ 60m — window 0 closes with both readings.
+	out := wd.Add(reading(0, 95*time.Minute))
+	if len(out) != 1 || len(out[0].Readings) != 2 {
+		t.Fatalf("window 0 = %+v, want 2 readings", out)
+	}
+	if wd.Pending() != 1 {
+		t.Errorf("pending %d, want 1 (window 1 open)", wd.Pending())
+	}
+}
+
+func TestWindowerValidation(t *testing.T) {
+	if _, err := NewWindower(0, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewWindower(time.Hour, -time.Minute); err == nil {
+		t.Error("negative lateness accepted")
+	}
+}
+
+func TestFlushResets(t *testing.T) {
+	wd, err := NewWindower(time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := wd.Flush(); out != nil {
+		t.Errorf("flush of empty windower emitted %+v", out)
+	}
+	wd.Add(reading(0, 10*time.Minute))
+	if out := wd.Flush(); len(out) != 1 {
+		t.Fatalf("flush emitted %d windows, want 1", len(out))
+	}
+	if wd.Pending() != 0 {
+		t.Error("pending after flush")
+	}
+	// Reusable after flush, fresh epoch.
+	if out := wd.Add(reading(0, 5*time.Hour)); out != nil {
+		t.Errorf("first reading after reset emitted %+v", out)
+	}
+	if out := wd.Flush(); len(out) != 1 || out[0].Index != 5 {
+		t.Fatalf("post-reset flush %+v, want single window 5", out)
+	}
+}

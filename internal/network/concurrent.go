@@ -25,7 +25,14 @@ func (d *Deployment) RunConcurrent(start, end time.Duration) ([]sensor.Reading, 
 		return nil, errors.New("network: end before start")
 	}
 
-	msgs := make(chan sensor.Reading)
+	// Buffer the collector channel so producers rarely block on the single
+	// consumer, and size the trace for the lossless upper bound so the append
+	// loop never regrows it mid-run.
+	rounds := 0
+	if end > start {
+		rounds = int((end - start - 1) / d.cfg.SamplePeriod) + 1
+	}
+	msgs := make(chan sensor.Reading, 4*len(d.devices))
 	var wg sync.WaitGroup
 	errs := make([]error, len(d.devices))
 	for i, dev := range d.devices {
@@ -58,7 +65,7 @@ func (d *Deployment) RunConcurrent(start, end time.Duration) ([]sensor.Reading, 
 	}
 
 	done := make(chan struct{})
-	var trace []sensor.Reading
+	trace := make([]sensor.Reading, 0, rounds*len(d.devices))
 	go func() {
 		defer close(done)
 		for r := range msgs {

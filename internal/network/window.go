@@ -37,11 +37,30 @@ func NewWindower(width time.Duration) (*Windower, error) {
 	return &Windower{width: width}, nil
 }
 
+// WindowIndex returns the ordinal of the window containing t for the given
+// window duration.
+func WindowIndex(t, width time.Duration) int {
+	return int(t / width)
+}
+
+// BuildWindow assembles the Window with ordinal idx for the given window
+// duration. It is the single place window bounds are derived from an index,
+// shared by the in-order Windower here and the out-of-order-tolerant
+// streaming windower in internal/ingest.
+func BuildWindow(idx int, width time.Duration, readings []sensor.Reading) Window {
+	return Window{
+		Index:    idx,
+		Start:    time.Duration(idx) * width,
+		End:      time.Duration(idx+1) * width,
+		Readings: readings,
+	}
+}
+
 // Add folds one message in. When the message opens a later window, every
 // window between the previously open one and the new one is emitted (in
 // order, possibly empty) and returned.
 func (w *Windower) Add(r sensor.Reading) []Window {
-	idx := int(r.Time / w.width)
+	idx := WindowIndex(r.Time, w.width)
 	if !w.started {
 		w.started = true
 		w.current = idx
@@ -73,12 +92,7 @@ func (w *Windower) flushUpTo(idx int) []Window {
 }
 
 func (w *Windower) makeWindow(idx int, readings []sensor.Reading) Window {
-	return Window{
-		Index:    idx,
-		Start:    time.Duration(idx) * w.width,
-		End:      time.Duration(idx+1) * w.width,
-		Readings: readings,
-	}
+	return BuildWindow(idx, w.width, readings)
 }
 
 // Flush emits the currently open window, if any.

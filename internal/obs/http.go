@@ -48,6 +48,13 @@ type Server struct {
 // and returns once the listener is bound; requests are handled on a
 // background goroutine until Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, NewMux(reg))
+}
+
+// ServeHandler is Serve for an arbitrary handler — used by serve modes that
+// mount ingestion/diagnosis routes alongside the registry (see
+// internal/fleet.Handler).
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -55,7 +62,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           NewMux(reg),
+			Handler:           h,
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}

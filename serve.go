@@ -1,0 +1,99 @@
+package sensorguard
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"sensorguard/internal/fleet"
+	"sensorguard/internal/ingest"
+	"sensorguard/internal/obs"
+)
+
+// Serving types, re-exported so the streaming collector can be embedded
+// without reaching into internal packages (see docs/SERVING.md).
+type (
+	// IngestReading is one wire message: a sensor reading tagged with its
+	// deployment key.
+	IngestReading = ingest.Reading
+	// IngestConsumer accepts decoded readings (implemented by Fleet).
+	IngestConsumer = ingest.Consumer
+	// IngestStats counts the outcome of one NDJSON stream.
+	IngestStats = ingest.StreamStats
+	// StreamWindower assembles windows from out-of-order arrival using
+	// watermarks with bounded lateness.
+	StreamWindower = ingest.Windower
+	// Fleet is the sharded collector pool: one detector worker per shard,
+	// deployments routed by key.
+	Fleet = fleet.Pool
+	// FleetConfig parameterises the pool.
+	FleetConfig = fleet.Config
+	// FleetStatus is the live state of one deployment.
+	FleetStatus = fleet.Status
+	// OverflowPolicy says what Submit does when a shard queue is full.
+	OverflowPolicy = fleet.Policy
+	// IngestTCPServer accepts line-delimited NDJSON readings over TCP.
+	IngestTCPServer = ingest.TCPServer
+)
+
+// Overflow policies (see OverflowPolicy).
+const (
+	// OverflowBlock applies backpressure to the producer.
+	OverflowBlock = fleet.Block
+	// OverflowDrop sheds the incoming reading and counts it.
+	OverflowDrop = fleet.DropNewest
+)
+
+// Serving errors.
+var (
+	// ErrIngestDropped reports a reading shed by the overflow policy.
+	ErrIngestDropped = ingest.ErrDropped
+	// ErrFleetClosed reports a Submit after Drain began.
+	ErrFleetClosed = fleet.ErrClosed
+	// ErrUnknownDeployment reports a query for a never-seen deployment.
+	ErrUnknownDeployment = fleet.ErrUnknownDeployment
+	// ErrBootstrapping reports a deployment still buffering its bootstrap
+	// horizon.
+	ErrBootstrapping = fleet.ErrBootstrapping
+)
+
+// NewFleet builds and starts a sharded collector pool; Drain it when done.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// ServeFleet serves the fleet's HTTP surface (see FleetHandler) on addr in
+// the background.
+func ServeFleet(addr string, p *Fleet, reg *MetricsRegistry) (*obs.Server, error) {
+	return obs.ServeHandler(addr, fleet.Handler(p, reg))
+}
+
+// ParseOverflowPolicy maps "block" | "drop" to an OverflowPolicy.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) { return fleet.ParsePolicy(s) }
+
+// FleetHandler builds the serve-mode HTTP surface (POST /ingest,
+// GET /report/{deployment}, GET /status/{deployment}, GET /deployments, plus
+// the /metrics family when reg is non-nil).
+func FleetHandler(p *Fleet, reg *MetricsRegistry) http.Handler { return fleet.Handler(p, reg) }
+
+// ServeIngestTCP accepts line-delimited NDJSON readings on addr in the
+// background, feeding them to c.
+func ServeIngestTCP(addr string, c IngestConsumer) (*IngestTCPServer, error) {
+	return ingest.ServeTCP(addr, c)
+}
+
+// ReadIngestStream decodes NDJSON readings from r and submits each to c
+// until EOF.
+func ReadIngestStream(r io.Reader, c IngestConsumer) (IngestStats, error) {
+	return ingest.ReadStream(r, c)
+}
+
+// EncodeIngestLine renders a reading as one NDJSON line (no newline).
+func EncodeIngestLine(r IngestReading) ([]byte, error) { return ingest.EncodeLine(r) }
+
+// DecodeIngestLine parses one NDJSON line into a reading.
+func DecodeIngestLine(line []byte) (IngestReading, error) { return ingest.DecodeLine(line) }
+
+// NewStreamWindower builds a streaming windower with the given window
+// duration and lateness bound.
+func NewStreamWindower(width, lateness time.Duration) (*StreamWindower, error) {
+	return ingest.NewWindower(width, lateness)
+}
