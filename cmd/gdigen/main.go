@@ -18,13 +18,23 @@
 // over real time; 0 streams as fast as possible), feeding a live collector:
 //
 //	gdigen -days 14 -fault stuck -stream -rate 100000 | sentinel -listen :8080 -
+//
+// With -post the stream is shipped over HTTP to a running sentinel instead
+// of stdout, in sequence-numbered batches with exponential-backoff retries,
+// so the producer rides out server restarts (see docs/RESILIENCE.md):
+//
+//	gdigen -days 14 -fault stuck -stream -post http://localhost:8080/ingest
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -54,6 +64,9 @@ type options struct {
 	stream      bool
 	rate        float64
 	deployment  string
+	post        string
+	postBatch   int
+	postRetry   time.Duration
 }
 
 func run(args []string, out io.Writer) error {
@@ -72,11 +85,20 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&o.stream, "stream", false, "replay the trace as NDJSON readings instead of writing CSV")
 	fs.Float64Var(&o.rate, "rate", 0, "stream rate multiplier over real time (0 = as fast as possible)")
 	fs.StringVar(&o.deployment, "deployment", "gdi", "deployment key stamped on streamed readings")
+	fs.StringVar(&o.post, "post", "", "with -stream: POST the NDJSON to this ingest URL (e.g. http://localhost:8080/ingest) instead of stdout, retrying transient failures")
+	fs.IntVar(&o.postBatch, "post-batch", 500, "readings per POST request in -post mode")
+	fs.DurationVar(&o.postRetry, "post-retry", time.Minute, "-post mode: how long to keep retrying one batch through transient errors before giving up")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if o.rate < 0 {
 		return fmt.Errorf("-rate must be non-negative")
+	}
+	if o.post != "" && !o.stream {
+		return fmt.Errorf("-post needs -stream")
+	}
+	if o.postBatch <= 0 {
+		return fmt.Errorf("-post-batch must be positive")
 	}
 
 	cfg := sensorguard.DefaultTraceConfig()
@@ -107,6 +129,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if o.stream {
+		if o.post != "" {
+			return postTrace(tr, o)
+		}
 		return streamTrace(out, tr, o.deployment, o.rate)
 	}
 	return sensorguard.WriteTraceCSV(out, tr)
@@ -142,6 +167,108 @@ func streamTrace(out io.Writer, tr sensorguard.Trace, deployment string, rate fl
 		}
 	}
 	return bw.Flush()
+}
+
+// postTrace ships the trace as NDJSON batches over HTTP to a running
+// sentinel. Each reading carries a wire sequence number (its trace index +
+// 1), so the receiver can discard the duplicates a retried batch re-sends —
+// together with the retry loop below, that makes the producer survive server
+// restarts without losing or double-counting readings. This is the driver
+// the crash harness uses.
+func postTrace(tr sensorguard.Trace, o options) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	rng := rand.New(rand.NewSource(o.seed + 7))
+	var batch bytes.Buffer
+	var prev time.Duration
+	pending := 0
+	flush := func() error {
+		if pending == 0 {
+			return nil
+		}
+		if err := postBatch(client, o.post, batch.Bytes(), o.postRetry, rng); err != nil {
+			return err
+		}
+		batch.Reset()
+		pending = 0
+		return nil
+	}
+	for i, r := range tr.Readings {
+		if o.rate > 0 && i > 0 && r.Time > prev {
+			// Pacing: ship what is buffered before sleeping, so the
+			// consumer sees readings as they "happen".
+			if err := flush(); err != nil {
+				return err
+			}
+			time.Sleep(time.Duration(float64(r.Time-prev) / o.rate))
+		}
+		prev = r.Time
+		line, err := sensorguard.EncodeIngestLine(sensorguard.IngestReading{
+			Deployment: o.deployment,
+			Seq:        uint64(i + 1),
+			Reading:    r,
+		})
+		if err != nil {
+			return err
+		}
+		batch.Write(line)
+		batch.WriteByte('\n')
+		pending++
+		if pending >= o.postBatch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// postBatch POSTs one NDJSON batch, retrying transient failures (connection
+// refused or reset, timeouts, 5xx responses) with exponential backoff and
+// jitter until the retry budget runs out. 4xx responses are permanent.
+func postBatch(client *http.Client, url string, body []byte, budget time.Duration, rng *rand.Rand) error {
+	deadline := time.Now().Add(budget)
+	backoff := 100 * time.Millisecond
+	for {
+		err := postOnce(client, url, body)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("post %s: retry budget exhausted: %w", url, err)
+		}
+		// Full jitter on the current backoff step, capped at 5s.
+		sleep := time.Duration(rng.Int63n(int64(backoff))) + backoff/2
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// permanentError marks a failure retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+func postOnce(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		return err // transport-level: refused, reset, timeout — retryable
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	switch {
+	case resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode >= 500:
+		return fmt.Errorf("server %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	default:
+		return &permanentError{fmt.Errorf("post %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))}
+	}
 }
 
 func faultPlan(o options) (*sensorguard.FaultPlan, error) {

@@ -2,8 +2,15 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sensorguard"
 )
@@ -135,5 +142,129 @@ func TestParseIDs(t *testing.T) {
 	}
 	if _, err := parseIDs("x"); err == nil {
 		t.Error("bad ID accepted")
+	}
+}
+
+// flakyIngest is an httptest handler that fails its first `failures`
+// requests with 503 before accepting NDJSON, recording every line received
+// on successful requests.
+type flakyIngest struct {
+	mu       sync.Mutex
+	failures int
+	requests int
+	lines    []string
+}
+
+func (f *flakyIngest) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.requests++
+	if f.requests <= f.failures {
+		http.Error(w, "shard queue unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		f.lines = append(f.lines, line)
+	}
+	fmt.Fprintln(w, `{"accepted":0,"rejected":0,"dropped":0}`)
+}
+
+// TestRunPostRetriesTransientFailures checks the -post producer: transient
+// 5xx failures are retried with the same batch until the server accepts, and
+// the delivered stream carries contiguous wire sequence numbers from 1.
+func TestRunPostRetriesTransientFailures(t *testing.T) {
+	sink := &flakyIngest{failures: 2}
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+
+	gen := []string{"-days", "1", "-sensors", "3", "-seed", "3",
+		"-stream", "-post", srv.URL, "-post-batch", "100", "-post-retry", "30s"}
+	if err := run(gen, io.Discard); err != nil {
+		t.Fatalf("run -post: %v", err)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := run([]string{"-days", "1", "-sensors", "3", "-seed", "3"}, &csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sensorguard.ReadTraceCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.requests <= sink.failures {
+		t.Fatalf("server saw %d requests, producer never got past the failures", sink.requests)
+	}
+	if len(sink.lines) != len(tr.Readings) {
+		t.Fatalf("delivered %d lines, trace has %d readings", len(sink.lines), len(tr.Readings))
+	}
+	for i, line := range sink.lines {
+		r, err := sensorguard.DecodeIngestLine([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d undecodable: %v\n%s", i, err, line)
+		}
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("line %d wire seq %d, want %d", i, r.Seq, i+1)
+		}
+		if r.Sensor != tr.Readings[i].Sensor || r.Time != tr.Readings[i].Time {
+			t.Fatalf("line %d is %+v, want reading %+v", i, r.Reading, tr.Readings[i])
+		}
+	}
+}
+
+// TestRunPostPermanentFailure checks that a 4xx response is not retried.
+func TestRunPostPermanentFailure(t *testing.T) {
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	err := run([]string{"-days", "1", "-sensors", "2", "-stream",
+		"-post", srv.URL, "-post-retry", "30s"}, io.Discard)
+	if err == nil {
+		t.Fatal("4xx response did not fail the run")
+	}
+	if got := requests.Load(); got != 1 {
+		t.Errorf("4xx was retried: %d requests", got)
+	}
+}
+
+// TestRunPostExhaustsRetryBudget checks that an unreachable server fails the
+// run once the retry budget lapses instead of retrying forever.
+func TestRunPostExhaustsRetryBudget(t *testing.T) {
+	// A listener that is closed immediately: connection refused on every try.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+
+	start := time.Now()
+	err := run([]string{"-days", "1", "-sensors", "2", "-stream",
+		"-post", url, "-post-retry", "300ms"}, io.Discard)
+	if err == nil {
+		t.Fatal("unreachable server did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("retry loop ran %v past a 300ms budget", elapsed)
+	}
+}
+
+func TestRunPostFlagValidation(t *testing.T) {
+	if err := run([]string{"-post", "http://x/ingest"}, io.Discard); err == nil {
+		t.Error("-post without -stream accepted")
+	}
+	if err := run([]string{"-stream", "-post", "http://x/ingest", "-post-batch", "0"}, io.Discard); err == nil {
+		t.Error("zero -post-batch accepted")
 	}
 }

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sensorguard"
+)
+
+// This file is the kill-and-restart crash harness of docs/RESILIENCE.md: a
+// real sentinel process is SIGKILLed at a randomized mid-stream point,
+// restarted with -recover against the same checkpoint directory, fed the rest
+// of the stream (with a deliberate retransmission overlap), and its final
+// JSON report must be byte-identical to an uninterrupted run's.
+
+// TestSentinelCrashChild is not a test: it is the child half of the harness.
+// When re-exec'd with SENTINEL_CRASH_CHILD=1 it becomes the sentinel binary,
+// running main's run() with the args from the environment. os.Exit keeps the
+// test framework's "PASS" epilogue out of the report on stdout.
+func TestSentinelCrashChild(t *testing.T) {
+	if os.Getenv("SENTINEL_CRASH_CHILD") != "1" {
+		t.Skip("harness child; skipped under normal test runs")
+	}
+	if err := run(strings.Fields(os.Getenv("SENTINEL_CRASH_ARGS")), nil, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// sentinelChild is one spawned sentinel process.
+type sentinelChild struct {
+	cmd    *exec.Cmd
+	ingest string // http://host:port/ingest
+	out    *bytes.Buffer
+	errOut *bytes.Buffer
+	waited bool
+}
+
+var ingestAddrRe = regexp.MustCompile(`serving ingest on (http://[^/\s]+/ingest)`)
+
+// startSentinel re-execs the test binary as a sentinel serving on an
+// ephemeral port with durability rooted at dir, and waits until the ingest
+// URL is announced on the child's stderr.
+func startSentinel(t *testing.T, dir string, recoverState bool) *sentinelChild {
+	t.Helper()
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-json",
+		"-checkpoint-dir", dir,
+		"-checkpoint-every", "256",
+	}
+	if recoverState {
+		args = append(args, "-recover")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestSentinelCrashChild$")
+	cmd.Env = append(os.Environ(),
+		"SENTINEL_CRASH_CHILD=1",
+		"SENTINEL_CRASH_ARGS="+strings.Join(args, " "),
+	)
+	c := &sentinelChild{cmd: cmd, out: &bytes.Buffer{}, errOut: &bytes.Buffer{}}
+	cmd.Stdout = c.out
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if !c.waited {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// Scan stderr for the ingest announcement, then keep draining in the
+	// background so the child never blocks on a full pipe.
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		c.errOut.WriteString(line + "\n")
+		if m := ingestAddrRe.FindStringSubmatch(line); m != nil {
+			c.ingest = m[1]
+			break
+		}
+	}
+	if c.ingest == "" {
+		cmd.Wait()
+		t.Fatalf("child exited before announcing ingest address; stderr:\n%s", c.errOut.String())
+	}
+	go io.Copy(io.Discard, stderr)
+	return c
+}
+
+// stop sends SIGTERM and waits for the graceful drain-and-report exit.
+func (c *sentinelChild) stop(t *testing.T) {
+	t.Helper()
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := c.cmd.Wait()
+	c.waited = true
+	if err != nil {
+		t.Fatalf("child exited with error after SIGTERM: %v\nstderr:\n%s", err, c.errOut.String())
+	}
+}
+
+// kill SIGKILLs the child: no drain, no final checkpoint, no report.
+func (c *sentinelChild) kill(t *testing.T) {
+	t.Helper()
+	if err := c.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	c.cmd.Wait() // "signal: killed" is the expected outcome
+	c.waited = true
+}
+
+// crashTraceBatches renders a stuck-sensor trace as sequence-numbered NDJSON
+// ingest batches, the way gdigen -stream -post ships them.
+func crashTraceBatches(t *testing.T, batchLen int) [][]byte {
+	t.Helper()
+	plan, err := sensorguard.NewFaultPlan(sensorguard.FaultSchedule{
+		Sensor:   6,
+		Injector: sensorguard.StuckAtFault{Value: sensorguard.Vector{15, 1}},
+		Start:    36 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sensorguard.DefaultTraceConfig()
+	cfg.Days = 5
+	tr, err := sensorguard.GenerateTrace(cfg, sensorguard.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]byte
+	var batch bytes.Buffer
+	n := 0
+	for i, r := range tr.Readings {
+		line, err := sensorguard.EncodeIngestLine(sensorguard.IngestReading{
+			Deployment: "gdi",
+			Seq:        uint64(i + 1),
+			Reading:    r,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch.Write(line)
+		batch.WriteByte('\n')
+		if n++; n >= batchLen {
+			batches = append(batches, append([]byte(nil), batch.Bytes()...))
+			batch.Reset()
+			n = 0
+		}
+	}
+	if n > 0 {
+		batches = append(batches, append([]byte(nil), batch.Bytes()...))
+	}
+	return batches
+}
+
+// postBatches ships batches to an ingest URL, retrying transient failures the
+// way gdigen -post does.
+func postBatches(t *testing.T, url string, batches [][]byte) {
+	t.Helper()
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i, b := range batches {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			err := postIngestOnce(client, url, b)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("batch %d: %v", i, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+func postIngestOnce(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("post: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// TestSentinelCrashRecovery is the harness proper: the acceptance criterion
+// is that the report after SIGKILL + -recover + remainder is byte-identical
+// to the uninterrupted run's.
+func TestSentinelCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash harness")
+	}
+	batches := crashTraceBatches(t, 200)
+	if len(batches) < 10 {
+		t.Fatalf("trace too short for a meaningful cut: %d batches", len(batches))
+	}
+
+	// Uninterrupted reference run through the identical wire path.
+	ref := startSentinel(t, t.TempDir(), false)
+	postBatches(t, ref.ingest, batches)
+	ref.stop(t)
+	want := ref.out.Bytes()
+	if len(want) == 0 {
+		t.Fatalf("reference run produced no report; stderr:\n%s", ref.errOut.String())
+	}
+
+	// Crash run: SIGKILL at a randomized mid-stream batch, restart with
+	// -recover, and resend with a two-batch retransmission overlap (the
+	// producer cannot know how much of its last acknowledged work survived,
+	// so it resends conservatively; wire-seq dedup absorbs the duplicates).
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	cut := 1 + rng.Intn(len(batches)-2)
+	t.Logf("killing sentinel after batch %d of %d", cut, len(batches))
+
+	dir := t.TempDir()
+	victim := startSentinel(t, dir, false)
+	postBatches(t, victim.ingest, batches[:cut])
+	victim.kill(t)
+
+	revived := startSentinel(t, dir, true)
+	resume := cut - 2
+	if resume < 0 {
+		resume = 0
+	}
+	postBatches(t, revived.ingest, batches[resume:])
+	revived.stop(t)
+	got := revived.out.Bytes()
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("recovered report differs from uninterrupted run (cut at batch %d)\n--- recovered\n%s\n--- reference\n%s",
+			cut, got, want)
+	}
+}

@@ -66,6 +66,10 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 	overflow := fs.String("overflow", "block", "serve mode: full-queue policy, block (backpressure) or drop (shed + count)")
 	lateness := fs.Duration("lateness", 0, "serve mode: watermark lateness bound for out-of-order readings (0 = one window)")
 	bootstrap := fs.Duration("bootstrap", 24*time.Hour, "serve mode: leading event time buffered per deployment to seed model states")
+	ckptDir := fs.String("checkpoint-dir", "", "serve mode: journal accepted readings and checkpoint detector state under this directory (see docs/RESILIENCE.md)")
+	ckptInterval := fs.Duration("checkpoint-interval", 0, "serve mode: wall-clock checkpoint cadence (default 1m when -checkpoint-dir is set and -checkpoint-every is 0)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "serve mode: checkpoint after this many applied readings per shard (0 = interval only)")
+	doRecover := fs.Bool("recover", false, "serve mode: restore state from -checkpoint-dir (newest valid checkpoint + journal replay) before serving")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,19 +77,26 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		if fs.NArg() > 1 {
 			return fmt.Errorf("usage: sentinel -listen addr [flags] [ndjson-file | -]")
 		}
+		if *ckptDir == "" && (*doRecover || *ckptInterval != 0 || *ckptEvery != 0) {
+			return fmt.Errorf("-recover, -checkpoint-interval, and -checkpoint-every need -checkpoint-dir")
+		}
 		return runServe(serveOptions{
-			listen:    *listen,
-			tcp:       *tcpAddr,
-			shards:    *shards,
-			queueLen:  *queueLen,
-			overflow:  *overflow,
-			lateness:  *lateness,
-			bootstrap: *bootstrap,
-			window:    *window,
-			states:    *states,
-			seed:      *seed,
-			asJSON:    *asJSON,
-			source:    fs.Arg(0),
+			listen:       *listen,
+			tcp:          *tcpAddr,
+			shards:       *shards,
+			queueLen:     *queueLen,
+			overflow:     *overflow,
+			lateness:     *lateness,
+			bootstrap:    *bootstrap,
+			window:       *window,
+			states:       *states,
+			seed:         *seed,
+			asJSON:       *asJSON,
+			source:       fs.Arg(0),
+			ckptDir:      *ckptDir,
+			ckptInterval: *ckptInterval,
+			ckptEvery:    *ckptEvery,
+			recover:      *doRecover,
 		}, stdin, out, errOut)
 	}
 	if fs.NArg() != 1 {

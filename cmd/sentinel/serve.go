@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -14,19 +15,27 @@ import (
 
 // serveOptions parameterise the -listen serve mode.
 type serveOptions struct {
-	listen    string // HTTP address (ingest + report + metrics)
-	tcp       string // optional line-delimited TCP ingest address
-	shards    int
-	queueLen  int
-	overflow  string
-	lateness  time.Duration
-	bootstrap time.Duration
-	window    time.Duration
-	states    int
-	seed      int64
-	asJSON    bool
-	source    string // optional NDJSON source: "-" = stdin, else a file path
+	listen       string // HTTP address (ingest + report + metrics)
+	tcp          string // optional line-delimited TCP ingest address
+	shards       int
+	queueLen     int
+	overflow     string
+	lateness     time.Duration
+	bootstrap    time.Duration
+	window       time.Duration
+	states       int
+	seed         int64
+	asJSON       bool
+	source       string // optional NDJSON source: "-" = stdin, else a file path
+	ckptDir      string // durability root; empty = no journal, no checkpoints
+	ckptInterval time.Duration
+	ckptEvery    int
+	recover      bool
 }
+
+// shutdownGrace bounds how long in-flight HTTP requests may run after a
+// shutdown signal before their connections are severed.
+const shutdownGrace = 5 * time.Second
 
 // runServe is the streaming server: live readings arrive over HTTP POST
 // /ingest, the TCP listener, and/or an NDJSON source stream (stdin or a
@@ -57,26 +66,48 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 		States:    o.states,
 		Seed:      o.seed,
 		Metrics:   metrics,
+		Durability: sensorguard.FleetDurability{
+			Dir:      o.ckptDir,
+			Interval: o.ckptInterval,
+			EveryN:   o.ckptEvery,
+			Recover:  o.recover,
+		},
 	})
 	if err != nil {
 		return err
+	}
+	if o.ckptDir != "" {
+		fmt.Fprintf(errOut, "sentinel: journaling readings and checkpointing state under %s (recover=%v)\n", o.ckptDir, o.recover)
 	}
 
 	srv, err := sensorguard.ServeFleet(o.listen, pool, metrics)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
 	fmt.Fprintf(errOut, "sentinel: serving ingest on http://%s/ingest, reports on /report/{deployment}, metrics on /metrics\n", srv.Addr())
 
+	var tcpSrv *sensorguard.IngestTCPServer
 	if o.tcp != "" {
-		tcpSrv, err := sensorguard.ServeIngestTCP(o.tcp, pool)
+		tcpSrv, err = sensorguard.ServeIngestTCP(o.tcp, pool)
 		if err != nil {
+			srv.Close()
 			return err
 		}
-		defer tcpSrv.Close()
 		fmt.Fprintf(errOut, "sentinel: accepting NDJSON readings on tcp://%s\n", tcpSrv.Addr())
 	}
+	// Shut the listeners down gracefully whichever way the serve loop ends:
+	// in-flight ingests and scrapes get shutdownGrace to finish, then their
+	// connections are severed and the ports released.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(errOut, "sentinel: http shutdown: %v\n", err)
+		}
+		if tcpSrv != nil {
+			tcpSrv.Close()
+		}
+	}()
 
 	if o.source != "" {
 		in := stdin

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sensorguard/internal/vecmat"
+)
+
+// SetState is the serializable form of a Set. Every field the clusterer's
+// behaviour depends on is captured — including the internal state order
+// (which decides nearest-state ties and merge scan order), the pending-spawn
+// buffer, and the Adapt-call ordinal — so a restored Set continues the stream
+// exactly as the original would have.
+type SetState struct {
+	Dim     int            `json:"dim"`
+	States  []State        `json:"states"` // internal order, NOT sorted by ID
+	NextID  int            `json:"next_id"`
+	Adapts  int            `json:"adapts"`
+	Pending []PendingState `json:"pending,omitempty"`
+	Spawned int            `json:"spawned"`
+	Merged  int            `json:"merged"`
+}
+
+// PendingState is one unconfirmed far observation awaiting a second sighting.
+type PendingState struct {
+	Point vecmat.Vector `json:"point"`
+	Adapt int           `json:"adapt"`
+}
+
+// Export returns the set's serializable state.
+func (s *Set) Export() SetState {
+	st := SetState{
+		Dim:     s.dim,
+		States:  make([]State, len(s.states)),
+		NextID:  s.nextID,
+		Adapts:  s.adapts,
+		Spawned: s.spawned,
+		Merged:  s.merged,
+	}
+	for i, stt := range s.states {
+		st.States[i] = State{ID: stt.ID, Centroid: stt.Centroid.Clone(), Weight: stt.Weight}
+	}
+	for _, p := range s.pending {
+		st.Pending = append(st.Pending, PendingState{Point: p.point.Clone(), Adapt: p.adapt})
+	}
+	return st
+}
+
+// Restore rebuilds a Set from exported state under the given configuration.
+// The state is validated defensively — dimensions, ID uniqueness, and the
+// nextID invariant — because checkpoints may arrive from disk after
+// corruption the CRC missed or from a hostile file.
+func Restore(cfg Config, st SetState) (*Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if st.Dim <= 0 {
+		return nil, fmt.Errorf("cluster: restore: dimension %d not positive", st.Dim)
+	}
+	seen := make(map[int]bool, len(st.States))
+	for _, s := range st.States {
+		if len(s.Centroid) != st.Dim {
+			return nil, fmt.Errorf("cluster: restore: state %d centroid dimension %d, want %d", s.ID, len(s.Centroid), st.Dim)
+		}
+		if s.ID < 0 || s.ID >= st.NextID {
+			return nil, fmt.Errorf("cluster: restore: state ID %d outside [0,%d)", s.ID, st.NextID)
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("cluster: restore: duplicate state ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	out := &Set{
+		cfg:     cfg,
+		dim:     st.Dim,
+		nextID:  st.NextID,
+		adapts:  st.Adapts,
+		spawned: st.Spawned,
+		merged:  st.Merged,
+	}
+	for _, s := range st.States {
+		out.states = append(out.states, State{ID: s.ID, Centroid: s.Centroid.Clone(), Weight: s.Weight})
+	}
+	for _, p := range st.Pending {
+		if len(p.Point) != st.Dim {
+			return nil, fmt.Errorf("cluster: restore: pending point dimension %d, want %d", len(p.Point), st.Dim)
+		}
+		out.pending = append(out.pending, pendingSpawn{point: p.Point.Clone(), adapt: p.Adapt})
+	}
+	return out, nil
+}

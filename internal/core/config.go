@@ -113,11 +113,16 @@ func DefaultConfig(initialStates []vecmat.Vector) Config {
 }
 
 // Validate reports whether the configuration is usable.
-func (c Config) Validate() error {
+func (c Config) Validate() error { return c.validate(true) }
+
+// validate checks the configuration; requireSeeds relaxes the initial-state
+// requirement for detectors rebuilt from a snapshot, whose model states come
+// from the snapshot rather than from InitialStates.
+func (c Config) validate(requireSeeds bool) error {
 	if c.Dim <= 0 {
 		return errors.New("core: dimension must be positive")
 	}
-	if len(c.InitialStates) == 0 {
+	if requireSeeds && len(c.InitialStates) == 0 {
 		return errors.New("core: need at least one initial model state")
 	}
 	for i, s := range c.InitialStates {

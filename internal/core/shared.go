@@ -46,6 +46,13 @@ func (s *Shared) Stats() Stats {
 	return s.d.Stats()
 }
 
+// Snapshot exports the detector's complete state between windows.
+func (s *Shared) Snapshot() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Snapshot()
+}
+
 // Quarantined returns the sensors currently excluded from the observable
 // estimate, in ascending order.
 func (s *Shared) Quarantined() []int {

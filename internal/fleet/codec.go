@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// On-disk framing shared by journals and checkpoints: a short magic line
+// identifying the file kind and version, followed by length-prefixed,
+// CRC32-guarded records:
+//
+//	uint32 LE payload length ‖ uint32 LE CRC32-IEEE(payload) ‖ payload
+//
+// A torn tail — the partial record a crash leaves behind — fails either the
+// length read or the CRC and is treated as end-of-file, never as data. The
+// two file kinds differ in how much tail damage they tolerate: journals keep
+// every record before the first bad frame (the tail is exactly what the
+// crash cut off), checkpoints must decode completely or not at all (a half
+// checkpoint is not a consistent state).
+const (
+	journalMagic    = "sgwal1\n"
+	checkpointMagic = "sgckpt1\n"
+
+	// maxRecordLen bounds a single record so a corrupted length prefix
+	// cannot drive an allocation by gigabytes. Checkpoint records carry a
+	// whole deployment snapshot, so the bound is generous.
+	maxRecordLen = 64 << 20
+)
+
+var crcTable = crc32.IEEETable
+
+// errCorrupt reports a record that failed framing validation.
+var errCorrupt = errors.New("fleet: corrupt record")
+
+// appendRecord frames payload into buf and returns the extended buffer.
+func appendRecord(buf, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readMagic consumes and verifies the file's magic line.
+func readMagic(r *bytes.Reader, want string) error {
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return fmt.Errorf("fleet: short magic: %w", err)
+	}
+	if string(got) != want {
+		return fmt.Errorf("fleet: bad magic %q, want %q", got, want)
+	}
+	return nil
+}
+
+// readRecord reads one framed record. It returns io.EOF at a clean end of
+// file and errCorrupt (wrapped) for a torn or damaged frame.
+func readRecord(r *bytes.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: torn header", errCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxRecordLen {
+		return nil, fmt.Errorf("%w: record length %d exceeds bound", errCorrupt, n)
+	}
+	if int64(n) > int64(r.Len()) {
+		return nil, fmt.Errorf("%w: torn payload (%d of %d bytes)", errCorrupt, r.Len(), n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: torn payload", errCorrupt)
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	return payload, nil
+}
+
+// readAllRecords verifies the magic and reads records until the clean end of
+// file or the first damaged frame. It returns the intact prefix and whether
+// the file ended cleanly (tail == nil) or in damage (tail != nil, the error
+// describing it).
+func readAllRecords(data []byte, magic string) (records [][]byte, tail error) {
+	r := bytes.NewReader(data)
+	if err := readMagic(r, magic); err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := readRecord(r)
+		if err == io.EOF {
+			return records, nil
+		}
+		if err != nil {
+			return records, err
+		}
+		records = append(records, rec)
+	}
+}

@@ -1,0 +1,385 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"sensorguard/internal/core"
+	"sensorguard/internal/ingest"
+)
+
+// Durability configures the write-ahead journal and periodic checkpoints.
+// The contract: every reading Submit acknowledged is journaled before it is
+// enqueued, and a checkpoint at sequence S captures exactly the state of
+// sequences ≤ S — so recovery (newest valid checkpoint + journal-tail
+// replay) rebuilds the state a crash interrupted, byte for byte.
+type Durability struct {
+	// Dir is the root directory for checkpoints and journals (one
+	// subdirectory per shard). Empty disables durability entirely.
+	Dir string
+	// Interval is the wall-clock checkpoint cadence. When both Interval
+	// and EveryN are zero, Interval defaults to one minute.
+	Interval time.Duration
+	// EveryN checkpoints after every N applied readings — a deterministic
+	// trigger the crash tests rely on. Zero disables the count trigger.
+	EveryN int
+	// Recover loads the newest valid checkpoint and replays the journal
+	// tail before the workers start. Without it, existing state in Dir is
+	// ignored (and will be overwritten).
+	Recover bool
+	// RestoreDetector rebuilds a deployment's detector from its snapshot;
+	// it must mirror Config.NewDetector's parameters. Default:
+	// core.RestoreDetector over core.DefaultConfig with Window installed.
+	RestoreDetector func(*core.Snapshot) (*core.Detector, error)
+}
+
+// durableShard is one shard's journal handle. nextSeq and the writer are
+// shared between Submit (producer goroutines) and the worker (rotation at
+// checkpoints), serialised by mu; the worker never blocks while holding it,
+// and Submit's queue send happens outside it with a slot already reserved,
+// so neither side can deadlock the other.
+type durableShard struct {
+	dir     string
+	mu      sync.Mutex
+	journal *journalWriter
+	nextSeq uint64
+}
+
+// deployment lifecycle states surfaced through Status.State.
+const (
+	StateBootstrapping = "bootstrapping"
+	StateRunning       = "running"
+	StateFailed        = "failed"
+	StateQuarantined   = "quarantined"
+)
+
+func shardDir(root string, id int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%d", id))
+}
+
+// initDurability prepares the shard's directory and — with Recover — loads
+// its persisted state before the worker starts.
+func (s *shard) initDurability() error {
+	cfg := s.pool.cfg.Durability
+	dir := shardDir(cfg.Dir, s.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.dur = &durableShard{dir: dir}
+	if cfg.Recover {
+		return s.recoverState()
+	}
+	jw, err := openJournal(dir, s.id, len(s.pool.shards), 0)
+	if err != nil {
+		return err
+	}
+	s.dur.journal = jw
+	return nil
+}
+
+// recoverState loads the newest fully-valid checkpoint, replays the journal
+// tail through the normal handle path, and collapses the result into a fresh
+// checkpoint + journal segment. Corrupt files fall back (older checkpoint,
+// shorter replay); configuration mismatches are hard errors.
+func (s *shard) recoverState() error {
+	dir := s.dur.dir
+	n := len(s.pool.shards)
+
+	ckpts, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	var loaded *checkpointFile
+	var restored map[string]*deployment
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(ckpts[i].path)
+		if err != nil {
+			continue
+		}
+		cf, err := decodeCheckpoint(data, s.id, n)
+		if err != nil {
+			continue // damaged or foreign: fall back to the previous one
+		}
+		if cf.header.WindowNS != int64(s.pool.cfg.Window) {
+			return fmt.Errorf("fleet: checkpoint %s was taken with window %s, pool configured for %s",
+				ckpts[i].path, time.Duration(cf.header.WindowNS), s.pool.cfg.Window)
+		}
+		deps, err := s.restoreAll(cf)
+		if err != nil {
+			continue // snapshot fails validation: whole checkpoint is out
+		}
+		loaded, restored = cf, deps
+		break
+	}
+	var base uint64
+	if loaded != nil {
+		base = loaded.header.Seq
+		s.mu.Lock()
+		s.deployments = restored
+		s.mu.Unlock()
+	}
+
+	segs, err := listJournals(dir)
+	if err != nil {
+		return err
+	}
+	// Replay starts at the segment with the largest base ≤ the checkpoint
+	// seq (records accepted while that checkpoint was being written live
+	// there) and runs through every later segment, skipping records the
+	// checkpoint already covers. Replay stops at the first sequence gap:
+	// past it, ordering guarantees are gone.
+	floor := -1
+	for i, sg := range segs {
+		if sg.base <= base {
+			floor = i
+		}
+	}
+	if floor < 0 && len(segs) > 0 && base > 0 {
+		return fmt.Errorf("fleet: shard %d journal gap: no segment covers checkpoint seq %d", s.id, base)
+	}
+	maxSeq, replayed := base, 0
+replay:
+	for i := max(floor, 0); i < len(segs); i++ {
+		entries, err := readJournal(segs[i].path, s.id, n)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.Seq <= base {
+				continue
+			}
+			if e.Seq != maxSeq+1 {
+				break replay
+			}
+			maxSeq = e.Seq
+			s.applied = e.Seq
+			r := e.reading()
+			s.handle(s.deployment(r.Deployment), r)
+			replayed++
+		}
+	}
+	s.dur.nextSeq = maxSeq
+
+	if loaded == nil && replayed == 0 {
+		jw, err := openJournal(dir, s.id, n, 0)
+		if err != nil {
+			return err
+		}
+		s.dur.journal = jw
+		return nil
+	}
+	// Collapse recovery into one fresh checkpoint (which also opens the
+	// next journal segment and prunes what the replay made redundant).
+	s.applied = maxSeq
+	return s.checkpoint()
+}
+
+// restoreAll rebuilds every deployment of a checkpoint, all-or-nothing.
+func (s *shard) restoreAll(cf *checkpointFile) (map[string]*deployment, error) {
+	out := make(map[string]*deployment, len(cf.deployments))
+	for _, rec := range cf.deployments {
+		d, err := restoreDeployment(rec, s.pool.cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[rec.Name] = d
+	}
+	return out, nil
+}
+
+// restoreDeployment rebuilds one deployment from its checkpoint record,
+// validating every layer; it never returns a partially-restored deployment.
+func restoreDeployment(rec deploymentCheckpoint, cfg Config) (*deployment, error) {
+	if rec.FirstNS < 0 {
+		return nil, fmt.Errorf("fleet: deployment %s has negative first-reading time", rec.Name)
+	}
+	switch rec.State {
+	case StateBootstrapping, StateRunning, StateFailed, StateQuarantined:
+	default:
+		return nil, fmt.Errorf("fleet: deployment %s has unknown state %q", rec.Name, rec.State)
+	}
+	d := &deployment{
+		name:        rec.Name,
+		started:     rec.Started,
+		first:       time.Duration(rec.FirstNS),
+		late:        rec.Late,
+		lastWireSeq: rec.LastWireSeq,
+		quarantined: rec.State == StateQuarantined,
+	}
+	pending, err := fromCheckpointReadings(rec.Pending)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: deployment %s: %w", rec.Name, err)
+	}
+	d.pending = pending
+	if (rec.Detector == nil) != (rec.Windower == nil) {
+		return nil, fmt.Errorf("fleet: deployment %s has detector/windower mismatch", rec.Name)
+	}
+	if rec.Windower != nil {
+		st, err := rec.Windower.state()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: deployment %s: %w", rec.Name, err)
+		}
+		if st.Width != cfg.Window || st.Lateness != cfg.Lateness {
+			return nil, fmt.Errorf("fleet: deployment %s windower was built for window %s/lateness %s, pool configured for %s/%s",
+				rec.Name, st.Width, st.Lateness, cfg.Window, cfg.Lateness)
+		}
+		wd, err := ingest.RestoreWindower(st)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: deployment %s: %w", rec.Name, err)
+		}
+		d.wd = wd
+	}
+	if rec.Detector != nil {
+		det, err := cfg.Durability.RestoreDetector(rec.Detector)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: deployment %s: %w", rec.Name, err)
+		}
+		d.det = core.NewShared(det)
+	}
+	if rec.Err != "" {
+		d.err = errors.New(rec.Err)
+	}
+	if (rec.State == StateFailed || rec.State == StateQuarantined) && d.err == nil {
+		return nil, fmt.Errorf("fleet: deployment %s is %s but carries no error", rec.Name, rec.State)
+	}
+	return d, nil
+}
+
+// maybeCheckpoint runs a checkpoint when either trigger is due.
+func (s *shard) maybeCheckpoint() {
+	if s.dur == nil {
+		return
+	}
+	cfg := s.pool.cfg.Durability
+	due := cfg.EveryN > 0 && s.applied-s.lastCkptSeq >= uint64(cfg.EveryN)
+	if !due && cfg.Interval > 0 && time.Since(s.lastCkptTime) >= cfg.Interval {
+		due = true
+	}
+	if !due {
+		return
+	}
+	if err := s.checkpoint(); err != nil {
+		s.m.ckptErrors.Inc()
+	}
+}
+
+// checkpoint persists the shard's state at the last applied sequence, then
+// rotates the journal so replay after this checkpoint only reads forward.
+func (s *shard) checkpoint() error {
+	seq := s.applied
+	s.mu.RLock()
+	deps := make([]*deployment, 0, len(s.deployments))
+	for _, d := range s.deployments {
+		deps = append(deps, d)
+	}
+	s.mu.RUnlock()
+	sort.Slice(deps, func(i, j int) bool { return deps[i].name < deps[j].name })
+	records := make([]deploymentCheckpoint, 0, len(deps))
+	for _, d := range deps {
+		rec, err := s.exportDeployment(d)
+		if err != nil {
+			return err
+		}
+		records = append(records, rec)
+	}
+	hdr := checkpointHeader{
+		Version:  1,
+		Shard:    s.id,
+		Shards:   len(s.pool.shards),
+		Seq:      seq,
+		WindowNS: int64(s.pool.cfg.Window),
+	}
+	bytes, err := writeCheckpoint(s.dur.dir, hdr, records)
+	if err != nil {
+		return err
+	}
+	s.m.ckptBytes.Set(float64(bytes))
+	s.m.ckptUnix.Set(float64(time.Now().Unix()))
+	s.m.checkpoints.Inc()
+	s.lastCkptSeq = seq
+	s.lastCkptTime = time.Now()
+
+	// Rotate at nextSeq, not at the checkpoint seq: readings journaled
+	// while the checkpoint was being built live in the old segment with
+	// seq > checkpoint seq, so the new segment's base must sit above every
+	// sequence already written. Segments then partition the sequence space
+	// cleanly — segment with base b holds exactly (b, next segment's base].
+	s.dur.mu.Lock()
+	old := s.dur.journal
+	jw, jerr := openJournal(s.dur.dir, s.id, len(s.pool.shards), s.dur.nextSeq)
+	if jerr == nil {
+		s.dur.journal = jw
+	}
+	s.dur.mu.Unlock()
+	if jerr != nil {
+		return jerr // keep appending to the old segment; replay still works
+	}
+	old.close()
+	s.prune()
+	return nil
+}
+
+// exportDeployment captures one deployment's record. Detector state crosses
+// the core.Shared mutex; everything else is worker-owned.
+func (s *shard) exportDeployment(d *deployment) (deploymentCheckpoint, error) {
+	rec := deploymentCheckpoint{
+		Name:        d.name,
+		State:       d.stateName(),
+		Started:     d.started,
+		FirstNS:     int64(d.first),
+		Late:        d.late,
+		LastWireSeq: d.lastWireSeq,
+		Pending:     toCheckpointReadings(d.pending),
+	}
+	det, derr := d.snapshot()
+	if derr != nil {
+		rec.Err = derr.Error()
+	}
+	if det != nil {
+		snap, err := det.Snapshot()
+		if err != nil {
+			return rec, fmt.Errorf("fleet: deployment %s: %w", d.name, err)
+		}
+		rec.Detector = snap
+	}
+	if d.wd != nil {
+		st := toCheckpointWindower(d.wd.Export())
+		rec.Windower = &st
+	}
+	return rec, nil
+}
+
+// prune keeps the newest two checkpoints and every journal segment recovery
+// from the older of them would need.
+func (s *shard) prune() {
+	ckpts, err := listCheckpoints(s.dur.dir)
+	if err != nil || len(ckpts) == 0 {
+		return
+	}
+	keepFrom := 0
+	if len(ckpts) > 2 {
+		keepFrom = len(ckpts) - 2
+	}
+	for _, c := range ckpts[:keepFrom] {
+		os.Remove(c.path)
+	}
+	oldest := ckpts[keepFrom].base
+	segs, err := listJournals(s.dur.dir)
+	if err != nil {
+		return
+	}
+	floor := -1
+	for i, sg := range segs {
+		if sg.base <= oldest {
+			floor = i
+		}
+	}
+	for i := 0; i < floor; i++ {
+		os.Remove(segs[i].path)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sensorguard/internal/cluster"
@@ -82,6 +83,13 @@ type Config struct {
 	NewDetector func(seeds []vecmat.Vector) (*core.Detector, error)
 	// Metrics, when non-nil, receives the pool and per-shard metrics.
 	Metrics *obs.Registry
+	// Durability enables the write-ahead journal and periodic checkpoints
+	// when Durability.Dir is set.
+	Durability Durability
+
+	// panicOn, when set, makes the shard worker panic while handling a
+	// matching reading — the hook the supervision tests inject faults with.
+	panicOn func(ingest.Reading) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +119,19 @@ func (c Config) withDefaults() Config {
 			return core.NewDetector(cfg)
 		}
 	}
+	if c.Durability.Dir != "" {
+		if c.Durability.Interval <= 0 && c.Durability.EveryN <= 0 {
+			c.Durability.Interval = time.Minute
+		}
+		if c.Durability.RestoreDetector == nil {
+			window := c.Window
+			c.Durability.RestoreDetector = func(snap *core.Snapshot) (*core.Detector, error) {
+				cfg := core.DefaultConfig(nil)
+				cfg.Window = window
+				return core.RestoreDetector(cfg, snap)
+			}
+		}
+	}
 	return c
 }
 
@@ -134,12 +155,17 @@ type Pool struct {
 
 	mu      sync.RWMutex // serialises Submit against Drain
 	closed  bool
+	aborted atomic.Bool
 	drained chan struct{}
 
 	readings *obs.Counter
+	panics   *obs.Counter
+	restarts *obs.Counter
 }
 
-// New builds and starts the pool; callers must Drain it when done.
+// New builds and starts the pool; callers must Drain it when done. With
+// durability configured, recovery (checkpoint load + journal replay) runs
+// here, before any worker starts, so a returned pool is always consistent.
 func New(cfg Config) (*Pool, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Lateness < 0 {
@@ -148,10 +174,21 @@ func New(cfg Config) (*Pool, error) {
 	p := &Pool{cfg: cfg, drained: make(chan struct{})}
 	if reg := cfg.Metrics; reg != nil {
 		p.readings = reg.Counter("fleet_readings_total", "readings accepted into shard queues")
+		p.panics = reg.Counter("fleet_panics_total", "shard worker panics recovered by the supervisor")
+		p.restarts = reg.Counter("fleet_restarts_total", "shard worker restarts after a recovered panic")
 	}
 	p.shards = make([]*shard, cfg.Shards)
 	for i := range p.shards {
 		p.shards[i] = newShard(i, p)
+	}
+	if cfg.Durability.Dir != "" {
+		for _, s := range p.shards {
+			if err := s.initDurability(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := range p.shards {
 		p.wg.Add(1)
 		go p.shards[i].run()
 	}
@@ -168,7 +205,14 @@ func shardIndex(deployment string, n int) int {
 
 // Submit routes one reading to its deployment's shard. It returns ErrClosed
 // after Drain, ingest.ErrDropped when the DropNewest policy sheds the
-// reading, and otherwise blocks until the shard accepts it.
+// reading, and otherwise blocks until the shard accepts it. With durability
+// on, the reading is journaled before it is enqueued — once Submit returns
+// nil, a crash cannot lose the reading.
+//
+// Admission goes through a slot semaphore sized like the queue: a held slot
+// guarantees the queue send cannot block, so the journal append (which must
+// happen between sequencing and enqueueing, under the journal mutex) never
+// sits inside a blocking send.
 func (p *Pool) Submit(r ingest.Reading) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -178,14 +222,34 @@ func (p *Pool) Submit(r ingest.Reading) error {
 	s := p.shards[shardIndex(r.Deployment, len(p.shards))]
 	if p.cfg.Policy == DropNewest {
 		select {
-		case s.queue <- r:
+		case s.slots <- struct{}{}:
 		default:
 			s.m.dropped.Inc()
 			return ingest.ErrDropped
 		}
 	} else {
-		s.queue <- r
+		s.slots <- struct{}{}
 	}
+	var seq uint64
+	if s.dur != nil {
+		s.dur.mu.Lock()
+		s.dur.nextSeq++
+		seq = s.dur.nextSeq
+		err := s.dur.journal.append(journalEntry{
+			Seq:        seq,
+			Deployment: r.Deployment,
+			WireSeq:    r.Seq,
+			Sensor:     r.Sensor,
+			TimeNS:     int64(r.Time),
+			Values:     r.Values,
+		})
+		s.dur.mu.Unlock()
+		if err != nil {
+			<-s.slots
+			return fmt.Errorf("fleet: journal: %w", err)
+		}
+	}
+	s.queue <- queued{seq: seq, r: r} // cannot block: a slot is held
 	p.readings.Inc()
 	s.m.depth.Set(float64(len(s.queue)))
 	return nil
@@ -202,6 +266,27 @@ func (p *Pool) Drain() {
 		return
 	}
 	p.closed = true
+	p.mu.Unlock()
+	for _, s := range p.shards {
+		close(s.queue)
+	}
+	p.wg.Wait()
+	close(p.drained)
+}
+
+// abort simulates a crash for the recovery tests: intake stops and workers
+// exit without flushing windowers or writing a final checkpoint, so the
+// durable state on disk is exactly what the journal and periodic checkpoints
+// captured — the same thing a SIGKILL would leave behind.
+func (p *Pool) abort() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.drained
+		return
+	}
+	p.closed = true
+	p.aborted.Store(true)
 	p.mu.Unlock()
 	for _, s := range p.shards {
 		close(s.queue)
@@ -231,6 +316,10 @@ type Status struct {
 	// Deployment is the key; Shard the worker that owns it.
 	Deployment string `json:"deployment"`
 	Shard      int    `json:"shard"`
+	// State is the lifecycle state: "bootstrapping", "running", "failed"
+	// (a terminal pipeline error), or "quarantined" (a recovered worker
+	// panic isolated this deployment; the rest of the shard keeps going).
+	State string `json:"state"`
 	// Bootstrapped reports whether the detector is running (false while
 	// the bootstrap horizon is still buffering).
 	Bootstrapped bool `json:"bootstrapped"`
@@ -246,7 +335,11 @@ func (p *Pool) Status(deployment string) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	st := Status{Deployment: deployment, Shard: shardIndex(deployment, len(p.shards))}
+	st := Status{
+		Deployment: deployment,
+		Shard:      shardIndex(deployment, len(p.shards)),
+		State:      d.stateName(),
+	}
 	det, derr := d.snapshot()
 	if derr != nil {
 		st.Err = derr.Error()
@@ -286,18 +379,39 @@ func (p *Pool) lookup(deployment string) (*deployment, error) {
 // shardMetrics are one shard's instruments; all fields are nil (and no-ops)
 // when the pool has no registry.
 type shardMetrics struct {
-	depth   *obs.Gauge
-	lag     *obs.Gauge
-	dropped *obs.Counter
-	late    *obs.Counter
-	windows *obs.Counter
+	depth       *obs.Gauge
+	lag         *obs.Gauge
+	dropped     *obs.Counter
+	late        *obs.Counter
+	windows     *obs.Counter
+	duplicates  *obs.Counter
+	checkpoints *obs.Counter
+	ckptErrors  *obs.Counter
+	ckptBytes   *obs.Gauge
+	ckptUnix    *obs.Gauge
+}
+
+// queued is one admitted reading plus its journal sequence (0 when
+// durability is off).
+type queued struct {
+	seq uint64
+	r   ingest.Reading
 }
 
 type shard struct {
 	id    int
 	pool  *Pool
-	queue chan ingest.Reading
+	queue chan queued
+	slots chan struct{} // admission semaphore; see Submit
 	m     shardMetrics
+
+	// Worker-owned durability cursors (no lock: only the worker goroutine
+	// — or recovery, which runs before it starts — touches them).
+	dur          *durableShard
+	applied      uint64
+	lastCkptSeq  uint64
+	lastCkptTime time.Time
+	current      *deployment // deployment being handled, for panic attribution
 
 	mu          sync.RWMutex // guards the deployments map (worker writes, Report reads)
 	deployments map[string]*deployment
@@ -305,19 +419,26 @@ type shard struct {
 
 func newShard(id int, p *Pool) *shard {
 	s := &shard{
-		id:          id,
-		pool:        p,
-		queue:       make(chan ingest.Reading, p.cfg.QueueLen),
-		deployments: make(map[string]*deployment),
+		id:           id,
+		pool:         p,
+		queue:        make(chan queued, p.cfg.QueueLen),
+		slots:        make(chan struct{}, p.cfg.QueueLen),
+		lastCkptTime: time.Now(),
+		deployments:  make(map[string]*deployment),
 	}
 	if reg := p.cfg.Metrics; reg != nil {
 		prefix := fmt.Sprintf("fleet_shard%d_", id)
 		s.m = shardMetrics{
-			depth:   reg.Gauge(prefix+"queue_depth", "readings waiting in this shard's queue"),
-			lag:     reg.Gauge(prefix+"lag_windows", "windows buffered behind the watermark on this shard"),
-			dropped: reg.Counter(prefix+"dropped_total", "readings shed by the overflow policy"),
-			late:    reg.Counter(prefix+"late_dropped_total", "readings dropped for arriving after their window closed"),
-			windows: reg.Counter(prefix+"windows_total", "observation windows stepped through detectors"),
+			depth:       reg.Gauge(prefix+"queue_depth", "readings waiting in this shard's queue"),
+			lag:         reg.Gauge(prefix+"lag_windows", "windows buffered behind the watermark on this shard"),
+			dropped:     reg.Counter(prefix+"dropped_total", "readings shed by the overflow policy"),
+			late:        reg.Counter(prefix+"late_dropped_total", "readings dropped for arriving after their window closed"),
+			windows:     reg.Counter(prefix+"windows_total", "observation windows stepped through detectors"),
+			duplicates:  reg.Counter(prefix+"duplicates_total", "readings skipped as wire-seq retransmissions"),
+			checkpoints: reg.Counter(prefix+"checkpoints_total", "checkpoints written"),
+			ckptErrors:  reg.Counter(prefix+"checkpoint_errors_total", "checkpoint attempts that failed"),
+			ckptBytes:   reg.Gauge(prefix+"checkpoint_bytes", "size of the newest checkpoint"),
+			ckptUnix:    reg.Gauge(prefix+"checkpoint_unix_seconds", "wall-clock time of the newest checkpoint"),
 		}
 	}
 	return s
@@ -327,16 +448,18 @@ func newShard(id int, p *Pool) *shard {
 // worker. wd and pending are worker-only; det and err cross the concurrency
 // boundary (Report/Status snapshot them) and are guarded by mu.
 type deployment struct {
-	name    string
-	wd      *ingest.Windower
-	pending []sensor.Reading
-	first   time.Duration
-	started bool
-	late    int // wd.Late() already exported to the counter
+	name        string
+	wd          *ingest.Windower
+	pending     []sensor.Reading
+	first       time.Duration
+	started     bool
+	late        int    // wd.Late() already exported to the counter
+	lastWireSeq uint64 // highest producer sequence applied, for retransmission dedup
 
-	mu  sync.Mutex
-	det *core.Shared
-	err error
+	mu          sync.Mutex
+	det         *core.Shared
+	err         error
+	quarantined bool
 }
 
 // snapshot returns the detector handle and terminal error under the lock.
@@ -352,21 +475,96 @@ func (d *deployment) fail(err error) {
 	d.mu.Unlock()
 }
 
+// quarantine marks the deployment as isolated after a worker panic. The
+// existing error check in handle/step then swallows the rest of its stream,
+// while every other deployment on the shard keeps running.
+func (d *deployment) quarantine(err error) {
+	d.mu.Lock()
+	d.quarantined = true
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+func (d *deployment) stateName() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case d.quarantined:
+		return StateQuarantined
+	case d.err != nil:
+		return StateFailed
+	case d.det == nil:
+		return StateBootstrapping
+	default:
+		return StateRunning
+	}
+}
+
 func (d *deployment) detector() *core.Shared {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.det
 }
 
+// run supervises the shard worker: consume restarts after every recovered
+// panic until the queue closes. A clean shutdown (Drain) flushes open
+// windows and writes a final checkpoint; an abort skips both, like a crash.
 func (s *shard) run() {
 	defer s.pool.wg.Done()
-	for r := range s.queue {
-		s.m.depth.Set(float64(len(s.queue)))
-		s.handle(r)
+	defer func() {
+		if s.dur != nil {
+			s.dur.mu.Lock()
+			s.dur.journal.close()
+			s.dur.mu.Unlock()
+		}
+	}()
+	for s.consume() {
+		s.pool.restarts.Inc()
+	}
+	if s.pool.aborted.Load() {
+		return
 	}
 	s.drain()
+	if s.dur != nil {
+		if err := s.checkpoint(); err != nil {
+			s.m.ckptErrors.Inc()
+		}
+	}
 	s.m.depth.Set(0)
 	s.m.lag.Set(0)
+}
+
+// consume works the queue until it closes (restart=false) or a panic is
+// recovered (restart=true). A panic quarantines the deployment whose reading
+// was being handled; the reading count it was part of stays applied (its
+// journal sequence was recorded before handling), so checkpoints taken after
+// a restart remain consistent with replay.
+func (s *shard) consume() (restart bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.pool.panics.Inc()
+			if d := s.current; d != nil {
+				d.quarantine(fmt.Errorf("fleet: shard %d worker panic: %v", s.id, r))
+				s.current = nil
+			}
+			restart = true
+		}
+	}()
+	for q := range s.queue {
+		<-s.slots
+		if s.pool.aborted.Load() {
+			return false
+		}
+		s.m.depth.Set(float64(len(s.queue)))
+		s.applied = q.seq
+		s.current = s.deployment(q.r.Deployment)
+		s.handle(s.current, q.r)
+		s.current = nil
+		s.maybeCheckpoint()
+	}
+	return false
 }
 
 func (s *shard) deployment(name string) *deployment {
@@ -383,10 +581,19 @@ func (s *shard) deployment(name string) *deployment {
 	return d
 }
 
-func (s *shard) handle(r ingest.Reading) {
-	d := s.deployment(r.Deployment)
+func (s *shard) handle(d *deployment, r ingest.Reading) {
 	if _, err := d.snapshot(); err != nil {
-		return // deployment died; swallow its stream
+		return // deployment died or is quarantined; swallow its stream
+	}
+	if r.Seq > 0 { // producer-stamped wire sequence: dedup retransmissions
+		if r.Seq <= d.lastWireSeq {
+			s.m.duplicates.Inc()
+			return
+		}
+		d.lastWireSeq = r.Seq
+	}
+	if hook := s.pool.cfg.panicOn; hook != nil && hook(r) {
+		panic(fmt.Sprintf("injected fault for deployment %s", r.Deployment))
 	}
 	if d.detector() == nil {
 		if !d.started {
@@ -480,7 +687,8 @@ func (s *shard) updateLag() {
 // drain finishes every deployment once the queue closes: deployments still
 // inside their bootstrap horizon are seeded from whatever arrived (matching
 // the offline path on traces shorter than the horizon), then every open
-// window is flushed through the detector.
+// window is flushed through the detector. Each deployment's flush is
+// panic-isolated, so one poisoned stream cannot abort the others' shutdown.
 func (s *shard) drain() {
 	s.mu.RLock()
 	deps := make([]*deployment, 0, len(s.deployments))
@@ -490,20 +698,30 @@ func (s *shard) drain() {
 	s.mu.RUnlock()
 	sort.Slice(deps, func(i, j int) bool { return deps[i].name < deps[j].name })
 	for _, d := range deps {
-		if _, err := d.snapshot(); err != nil {
-			continue
+		s.drainDeployment(d)
+	}
+}
+
+func (s *shard) drainDeployment(d *deployment) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.pool.panics.Inc()
+			d.quarantine(fmt.Errorf("fleet: shard %d drain panic: %v", s.id, r))
 		}
-		if d.detector() == nil {
-			if len(d.pending) == 0 {
-				continue
-			}
-			if err := s.bootstrap(d); err != nil {
-				d.fail(fmt.Errorf("bootstrap: %w", err))
-				continue
-			}
+	}()
+	if _, err := d.snapshot(); err != nil {
+		return
+	}
+	if d.detector() == nil {
+		if len(d.pending) == 0 {
+			return
 		}
-		for _, w := range d.wd.Flush() {
-			s.step(d, w)
+		if err := s.bootstrap(d); err != nil {
+			d.fail(fmt.Errorf("bootstrap: %w", err))
+			return
 		}
+	}
+	for _, w := range d.wd.Flush() {
+		s.step(d, w)
 	}
 }

@@ -1,0 +1,133 @@
+package hmm
+
+import (
+	"fmt"
+
+	"sensorguard/internal/vecmat"
+)
+
+// OnlineState is the serializable form of an Online estimator. Unlike
+// Snapshot (an ID-sorted analysis view), OnlineState preserves the internal
+// row/column registration order, because that order determines how future
+// merges blend rows and which index positions EnsureHidden/EnsureSymbol hand
+// out — a restored estimator must evolve exactly as the original would have.
+type OnlineState struct {
+	HiddenIDs   []int           `json:"hidden_ids"` // row order, NOT sorted
+	SymbolIDs   []int           `json:"symbol_ids"` // column order, NOT sorted
+	A           [][]float64     `json:"a"`          // hidden × hidden, row order
+	B           [][]float64     `json:"b"`          // hidden × symbol
+	Visits      map[int]float64 `json:"visits,omitempty"`
+	Emissions   map[int]float64 `json:"emissions,omitempty"`
+	Transitions map[int]float64 `json:"transitions,omitempty"`
+	Prev        int             `json:"prev"`
+	Started     bool            `json:"started"`
+	Steps       int             `json:"steps"`
+}
+
+// Export returns the estimator's serializable state.
+func (o *Online) Export() OnlineState {
+	st := OnlineState{
+		HiddenIDs: append([]int(nil), o.hiddenIDs...),
+		SymbolIDs: append([]int(nil), o.symbolIDs...),
+		A:         exportMatrix(o.a),
+		B:         exportMatrix(o.b),
+		Prev:      o.prev,
+		Started:   o.started,
+		Steps:     o.steps,
+	}
+	st.Visits = cloneFloatMap(o.visits)
+	st.Emissions = cloneFloatMap(o.emits)
+	st.Transitions = cloneFloatMap(o.transitions)
+	return st
+}
+
+// RestoreOnline rebuilds an Online estimator from exported state with the
+// given learning factors. The state is validated defensively — matrix shapes,
+// ID uniqueness, Prev membership — since it may come from a damaged or
+// hostile checkpoint file.
+func RestoreOnline(beta, gamma float64, st OnlineState) (*Online, error) {
+	o, err := NewOnline(beta, gamma)
+	if err != nil {
+		return nil, err
+	}
+	nh, ns := len(st.HiddenIDs), len(st.SymbolIDs)
+	a, err := restoreMatrix(st.A, nh, nh, "A")
+	if err != nil {
+		return nil, err
+	}
+	b, err := restoreMatrix(st.B, nh, ns, "B")
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range st.HiddenIDs {
+		if _, dup := o.hiddenIdx[id]; dup {
+			return nil, fmt.Errorf("hmm: restore: duplicate hidden ID %d", id)
+		}
+		o.hiddenIdx[id] = i
+	}
+	for i, id := range st.SymbolIDs {
+		if _, dup := o.symbolIdx[id]; dup {
+			return nil, fmt.Errorf("hmm: restore: duplicate symbol ID %d", id)
+		}
+		o.symbolIdx[id] = i
+	}
+	if st.Started {
+		if _, ok := o.hiddenIdx[st.Prev]; !ok {
+			return nil, fmt.Errorf("hmm: restore: previous hidden state %d unknown", st.Prev)
+		}
+	}
+	o.hiddenIDs = append([]int(nil), st.HiddenIDs...)
+	o.symbolIDs = append([]int(nil), st.SymbolIDs...)
+	o.a, o.b = a, b
+	o.visits = cloneFloatMap(st.Visits)
+	o.emits = cloneFloatMap(st.Emissions)
+	o.transitions = cloneFloatMap(st.Transitions)
+	if o.visits == nil {
+		o.visits = make(map[int]float64)
+	}
+	if o.emits == nil {
+		o.emits = make(map[int]float64)
+	}
+	if o.transitions == nil {
+		o.transitions = make(map[int]float64)
+	}
+	o.prev = st.Prev
+	o.started = st.Started
+	o.steps = st.Steps
+	return o, nil
+}
+
+func exportMatrix(m *vecmat.Matrix) [][]float64 {
+	out := make([][]float64, m.Rows())
+	for i := range out {
+		out[i] = []float64(m.Row(i))
+	}
+	return out
+}
+
+func restoreMatrix(rows [][]float64, wantRows, wantCols int, name string) (*vecmat.Matrix, error) {
+	if len(rows) != wantRows {
+		return nil, fmt.Errorf("hmm: restore: matrix %s has %d rows, want %d", name, len(rows), wantRows)
+	}
+	m := vecmat.NewMatrix(wantRows, wantCols)
+	for i, row := range rows {
+		if len(row) != wantCols {
+			return nil, fmt.Errorf("hmm: restore: matrix %s row %d has %d cols, want %d", name, i, len(row), wantCols)
+		}
+		for j, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+	return m, nil
+}
+
+func cloneFloatMap(in map[int]float64) map[int]float64 {
+	if in == nil {
+		return nil
+	}
+	out := make(map[int]float64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

@@ -32,6 +32,12 @@ const maxSeconds = float64(math.MaxInt64) / float64(time.Second)
 type Reading struct {
 	// Deployment identifies the sensor network the reading belongs to.
 	Deployment string
+	// Seq is an optional producer-assigned sequence number, strictly
+	// increasing per deployment (0 = unassigned). Consumers that persist
+	// state use it to deduplicate retransmissions: a producer that never
+	// got an ACK can safely resend a batch, and readings with Seq at or
+	// below the deployment's high-water mark are dropped as duplicates.
+	Seq uint64
 	// Reading is the ⟨t, p⟩ message itself.
 	sensor.Reading
 }
@@ -41,6 +47,7 @@ type Reading struct {
 //	{"deployment":"gdi","sensor":3,"time_s":300.0,"values":[12.5,94.0]}
 type wireReading struct {
 	Deployment string    `json:"deployment,omitempty"`
+	Seq        uint64    `json:"seq,omitempty"`
 	Sensor     int       `json:"sensor"`
 	TimeS      float64   `json:"time_s"`
 	Values     []float64 `json:"values"`
@@ -72,6 +79,7 @@ func DecodeLine(line []byte) (Reading, error) {
 	}
 	return Reading{
 		Deployment: dep,
+		Seq:        w.Seq,
 		Reading: sensor.Reading{
 			Sensor: w.Sensor,
 			Time:   time.Duration(w.TimeS * float64(time.Second)),
@@ -84,6 +92,7 @@ func DecodeLine(line []byte) (Reading, error) {
 func EncodeLine(r Reading) ([]byte, error) {
 	return json.Marshal(wireReading{
 		Deployment: r.Deployment,
+		Seq:        r.Seq,
 		Sensor:     r.Sensor,
 		TimeS:      r.Time.Seconds(),
 		Values:     r.Values,

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // maxLine bounds one NDJSON line (a reading with a few attributes fits in
@@ -69,12 +70,18 @@ func IngestHandler(c Consumer) http.HandlerFunc {
 	}
 }
 
+// DefaultTCPIdleTimeout is how long a TCP ingest connection may sit without
+// delivering a byte before it is severed. Gateways batch at window scale, so
+// minutes of silence are normal; hours mean a half-open peer.
+const DefaultTCPIdleTimeout = 5 * time.Minute
+
 // TCPServer accepts line-delimited NDJSON readings on a TCP listener — the
 // mote-gateway-facing ingestion path, one stream per connection.
 type TCPServer struct {
-	ln net.Listener
-	c  Consumer
-	wg sync.WaitGroup
+	ln   net.Listener
+	c    Consumer
+	idle time.Duration
+	wg   sync.WaitGroup
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -82,15 +89,38 @@ type TCPServer struct {
 
 // ServeTCP starts accepting connections on addr (e.g. ":9000",
 // "127.0.0.1:0") in the background, feeding decoded readings to c.
+// Connections idle longer than DefaultTCPIdleTimeout are severed.
 func ServeTCP(addr string, c Consumer) (*TCPServer, error) {
+	return ServeTCPIdle(addr, c, DefaultTCPIdleTimeout)
+}
+
+// ServeTCPIdle is ServeTCP with an explicit idle timeout. The read deadline
+// resets on every read, so a live producer is never cut off mid-stream while
+// a stalled or half-open client cannot pin its goroutine (and the window
+// state behind it) forever. idle <= 0 disables the deadline.
+func ServeTCPIdle(addr string, c Consumer, idle time.Duration) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
 	}
-	s := &TCPServer{ln: ln, c: c, conns: make(map[net.Conn]struct{})}
+	s := &TCPServer{ln: ln, c: c, idle: idle, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.accept()
 	return s, nil
+}
+
+// idleConn renews the connection's read deadline before every read, turning
+// the absolute deadline into an idle timeout.
+type idleConn struct {
+	conn net.Conn
+	idle time.Duration
+}
+
+func (c idleConn) Read(p []byte) (int, error) {
+	if err := c.conn.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+		return 0, err
+	}
+	return c.conn.Read(p)
 }
 
 func (s *TCPServer) accept() {
@@ -112,7 +142,11 @@ func (s *TCPServer) accept() {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			_, _ = ReadStream(conn, s.c)
+			var r io.Reader = conn
+			if s.idle > 0 {
+				r = idleConn{conn: conn, idle: s.idle}
+			}
+			_, _ = ReadStream(r, s.c)
 		}()
 	}
 }

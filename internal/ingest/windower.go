@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"sensorguard/internal/network"
@@ -120,3 +121,79 @@ func (w *Windower) Pending() int {
 // Late returns the number of readings dropped for arriving after their
 // window was emitted.
 func (w *Windower) Late() int { return w.late }
+
+// WindowerState is the serializable form of a Windower: configuration,
+// watermark cursor, and every buffered (not yet emitted) reading. Open
+// windows are keyed by index; within a window readings keep arrival order,
+// which the restored windower preserves.
+type WindowerState struct {
+	Width    time.Duration            `json:"width"`
+	Lateness time.Duration            `json:"lateness"`
+	Open     map[int][]sensor.Reading `json:"open,omitempty"`
+	Started  bool                     `json:"started"`
+	NextEmit int                      `json:"next_emit"`
+	MaxIndex int                      `json:"max_index"`
+	MaxTime  time.Duration            `json:"max_time"`
+	Late     int                      `json:"late"`
+}
+
+// Export returns the windower's serializable state.
+func (w *Windower) Export() WindowerState {
+	st := WindowerState{
+		Width:    w.width,
+		Lateness: w.lateness,
+		Started:  w.started,
+		NextEmit: w.nextEmit,
+		MaxIndex: w.maxIndex,
+		MaxTime:  w.maxTime,
+		Late:     w.late,
+	}
+	if len(w.open) > 0 {
+		st.Open = make(map[int][]sensor.Reading, len(w.open))
+		for idx, rs := range w.open {
+			cp := make([]sensor.Reading, len(rs))
+			for i, r := range rs {
+				cp[i] = r
+				cp[i].Values = r.Values.Clone()
+			}
+			st.Open[idx] = cp
+		}
+	}
+	return st
+}
+
+// RestoreWindower rebuilds a Windower from exported state, validating the
+// configuration and cursor invariants defensively.
+func RestoreWindower(st WindowerState) (*Windower, error) {
+	w, err := NewWindower(st.Width, st.Lateness)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Started {
+		if len(st.Open) > 0 {
+			return nil, errors.New("ingest: windower state buffers readings before starting")
+		}
+		w.late = st.Late
+		return w, nil
+	}
+	if st.MaxIndex < st.NextEmit {
+		return nil, fmt.Errorf("ingest: windower state max index %d below emission frontier %d", st.MaxIndex, st.NextEmit)
+	}
+	for idx, rs := range st.Open {
+		if idx < st.NextEmit || idx > st.MaxIndex {
+			return nil, fmt.Errorf("ingest: windower state buffers window %d outside [%d,%d]", idx, st.NextEmit, st.MaxIndex)
+		}
+		cp := make([]sensor.Reading, len(rs))
+		for i, r := range rs {
+			cp[i] = r
+			cp[i].Values = r.Values.Clone()
+		}
+		w.open[idx] = cp
+	}
+	w.started = true
+	w.nextEmit = st.NextEmit
+	w.maxIndex = st.MaxIndex
+	w.maxTime = st.MaxTime
+	w.late = st.Late
+	return w, nil
+}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -73,5 +75,18 @@ func ServeHandler(addr string, h http.Handler) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
+// Close stops the server immediately and releases the listener; in-flight
+// requests are abandoned. Prefer Shutdown on a signal-driven exit.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections, releases the listener, and waits
+// for in-flight requests (a scrape mid-read, an ingest mid-stream) to finish
+// — up to the context's deadline, after which remaining connections are
+// severed. It always releases the port, even on deadline overrun.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return s.srv.Close()
+	}
+	return err
+}

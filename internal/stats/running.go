@@ -43,6 +43,25 @@ func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 // Reset clears the accumulator.
 func (r *Running) Reset() { *r = Running{} }
 
+// RunningState is the serializable form of a Running accumulator: the exact
+// Welford triple, so Export/Restore round-trips are bit-identical and a
+// restored accumulator continues the stream indistinguishably.
+type RunningState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// Export returns the accumulator's serializable state.
+func (r Running) Export() RunningState {
+	return RunningState{N: r.n, Mean: r.mean, M2: r.m2}
+}
+
+// Restore rebuilds a Running accumulator from exported state.
+func (s RunningState) Restore() Running {
+	return Running{n: s.N, mean: s.Mean, m2: s.M2}
+}
+
 // Merge folds another accumulator into r using Chan's parallel-variance
 // formula, as if every observation of other had been Added to r.
 func (r *Running) Merge(other Running) {

@@ -1,0 +1,72 @@
+package track
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ManagerState is the serializable form of a Manager: deep copies of every
+// active and closed track plus the opened ordinal. Active tracks are sorted
+// by sensor ID so exports are deterministic.
+type ManagerState struct {
+	Active []Track `json:"active,omitempty"`
+	Closed []Track `json:"closed,omitempty"`
+	Opened int     `json:"opened"`
+}
+
+func cloneTrack(t *Track) Track {
+	out := *t
+	out.Symbols = append([]int(nil), t.Symbols...)
+	out.Hidden = append([]int(nil), t.Hidden...)
+	return out
+}
+
+// Export returns the manager's serializable state.
+func (m *Manager) Export() ManagerState {
+	st := ManagerState{Opened: m.opened}
+	for _, t := range m.active {
+		st.Active = append(st.Active, cloneTrack(t))
+	}
+	sort.Slice(st.Active, func(i, j int) bool { return st.Active[i].Sensor < st.Active[j].Sensor })
+	for _, t := range m.closed {
+		st.Closed = append(st.Closed, cloneTrack(t))
+	}
+	return st
+}
+
+// Restore rebuilds a Manager from exported state, validating that active
+// tracks are actually open, sensors are not tracked twice, and symbol/hidden
+// histories stay aligned.
+func Restore(st ManagerState) (*Manager, error) {
+	m := NewManager()
+	for i := range st.Active {
+		t := cloneTrack(&st.Active[i])
+		if !t.Active() {
+			return nil, fmt.Errorf("track: restore: active track for sensor %d already closed at window %d", t.Sensor, t.Closed)
+		}
+		if len(t.Symbols) != len(t.Hidden) {
+			return nil, fmt.Errorf("track: restore: sensor %d track has %d symbols but %d hidden states", t.Sensor, len(t.Symbols), len(t.Hidden))
+		}
+		if _, dup := m.active[t.Sensor]; dup {
+			return nil, fmt.Errorf("track: restore: sensor %d tracked twice", t.Sensor)
+		}
+		tc := t
+		m.active[t.Sensor] = &tc
+	}
+	for i := range st.Closed {
+		t := cloneTrack(&st.Closed[i])
+		if t.Active() {
+			return nil, fmt.Errorf("track: restore: closed track for sensor %d still open", t.Sensor)
+		}
+		if len(t.Symbols) != len(t.Hidden) {
+			return nil, fmt.Errorf("track: restore: sensor %d track has %d symbols but %d hidden states", t.Sensor, len(t.Symbols), len(t.Hidden))
+		}
+		tc := t
+		m.closed = append(m.closed, &tc)
+	}
+	if st.Opened < len(m.active)+len(m.closed) {
+		return nil, fmt.Errorf("track: restore: opened count %d below track count %d", st.Opened, len(m.active)+len(m.closed))
+	}
+	m.opened = st.Opened
+	return m, nil
+}

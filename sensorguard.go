@@ -126,6 +126,18 @@ func NewDetector(cfg Config) (*Detector, error) {
 	return core.NewDetector(cfg)
 }
 
+// DetectorSnapshot is the versioned, JSON-serialisable export of a
+// detector's complete accumulated state (see docs/RESILIENCE.md).
+type DetectorSnapshot = core.Snapshot
+
+// RestoreDetector rebuilds a detector from a snapshot. The configuration
+// must match the one the snapshot was taken under (Config.InitialStates is
+// not needed — the restored cluster set replaces the seeds); the restored
+// detector continues the stream with byte-identical results.
+func RestoreDetector(cfg Config, snap *DetectorSnapshot) (*Detector, error) {
+	return core.RestoreDetector(cfg, snap)
+}
+
 // DefaultConfig returns the paper's Table 1 configuration for the given
 // initial model states.
 func DefaultConfig(initialStates []Vector) Config {

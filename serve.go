@@ -34,6 +34,23 @@ type (
 	OverflowPolicy = fleet.Policy
 	// IngestTCPServer accepts line-delimited NDJSON readings over TCP.
 	IngestTCPServer = ingest.TCPServer
+	// FleetDurability configures the write-ahead journal and periodic
+	// checkpoints (see docs/RESILIENCE.md).
+	FleetDurability = fleet.Durability
+)
+
+// Deployment lifecycle states reported in FleetStatus.State.
+const (
+	// FleetStateBootstrapping: the deployment is still buffering its
+	// bootstrap horizon; no detector yet.
+	FleetStateBootstrapping = fleet.StateBootstrapping
+	// FleetStateRunning: the detector is live.
+	FleetStateRunning = fleet.StateRunning
+	// FleetStateFailed: the pipeline hit a terminal error.
+	FleetStateFailed = fleet.StateFailed
+	// FleetStateQuarantined: a recovered worker panic isolated this
+	// deployment; the rest of its shard keeps running.
+	FleetStateQuarantined = fleet.StateQuarantined
 )
 
 // Overflow policies (see OverflowPolicy).
