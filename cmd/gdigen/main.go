@@ -29,6 +29,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,7 +45,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "gdigen:", err)
 		os.Exit(1)
 	}
@@ -69,7 +70,7 @@ type options struct {
 	postRetry   time.Duration
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	var o options
 	fs := flag.NewFlagSet("gdigen", flag.ContinueOnError)
 	fs.IntVar(&o.days, "days", 31, "trace length in days")
@@ -130,7 +131,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if o.stream {
 		if o.post != "" {
-			return postTrace(tr, o)
+			return postTrace(tr, o, errOut)
 		}
 		return streamTrace(out, tr, o.deployment, o.rate)
 	}
@@ -175,7 +176,7 @@ func streamTrace(out io.Writer, tr sensorguard.Trace, deployment string, rate fl
 // together with the retry loop below, that makes the producer survive server
 // restarts without losing or double-counting readings. This is the driver
 // the crash harness uses.
-func postTrace(tr sensorguard.Trace, o options) error {
+func postTrace(tr sensorguard.Trace, o options, errOut io.Writer) error {
 	client := &http.Client{Timeout: 30 * time.Second}
 	rng := rand.New(rand.NewSource(o.seed + 7))
 	var batch bytes.Buffer
@@ -185,7 +186,11 @@ func postTrace(tr sensorguard.Trace, o options) error {
 		if pending == 0 {
 			return nil
 		}
-		if err := postBatch(client, o.post, batch.Bytes(), o.postRetry, rng); err != nil {
+		// Every batch is the root of its own trace: the collector's sampler
+		// decides whether to record it, and retries of one batch share the
+		// trace ID so a duplicate shows up as one story, not several.
+		tc := sensorguard.NewRootContext()
+		if err := postBatch(client, o.post, batch.Bytes(), tc, o.postRetry, rng, errOut); err != nil {
 			return err
 		}
 		batch.Reset()
@@ -222,14 +227,16 @@ func postTrace(tr sensorguard.Trace, o options) error {
 	return flush()
 }
 
-// postBatch POSTs one NDJSON batch, retrying transient failures (connection
-// refused or reset, timeouts, 5xx responses) with exponential backoff and
-// jitter until the retry budget runs out. 4xx responses are permanent.
-func postBatch(client *http.Client, url string, body []byte, budget time.Duration, rng *rand.Rand) error {
+// postBatch POSTs one NDJSON batch stamped with the batch's trace context,
+// retrying transient failures (connection refused or reset, timeouts, 5xx
+// responses) with exponential backoff and jitter until the retry budget runs
+// out. 4xx responses are permanent. Each retry is announced as one NDJSON
+// event on errOut, so a supervisor can watch the producer ride out restarts.
+func postBatch(client *http.Client, url string, body []byte, tc sensorguard.SpanContext, budget time.Duration, rng *rand.Rand, errOut io.Writer) error {
 	deadline := time.Now().Add(budget)
 	backoff := 100 * time.Millisecond
-	for {
-		err := postOnce(client, url, body)
+	for attempt := 1; ; attempt++ {
+		err := postOnce(client, url, body, tc)
 		if err == nil {
 			return nil
 		}
@@ -242,6 +249,13 @@ func postBatch(client *http.Client, url string, body []byte, budget time.Duratio
 		}
 		// Full jitter on the current backoff step, capped at 5s.
 		sleep := time.Duration(rng.Int63n(int64(backoff))) + backoff/2
+		_ = json.NewEncoder(errOut).Encode(retryEvent{
+			Event:     "ingest_post_retry",
+			Attempt:   attempt,
+			BackoffMS: sleep.Milliseconds(),
+			TraceID:   tc.Trace.String(),
+			Err:       err.Error(),
+		})
 		time.Sleep(sleep)
 		if backoff *= 2; backoff > 5*time.Second {
 			backoff = 5 * time.Second
@@ -249,13 +263,30 @@ func postBatch(client *http.Client, url string, body []byte, budget time.Duratio
 	}
 }
 
+// retryEvent is the structured per-retry record postBatch emits.
+type retryEvent struct {
+	Event     string `json:"event"`
+	Attempt   int    `json:"attempt"`
+	BackoffMS int64  `json:"backoff_ms"`
+	TraceID   string `json:"trace_id"`
+	Err       string `json:"error"`
+}
+
 // permanentError marks a failure retrying cannot fix.
 type permanentError struct{ err error }
 
 func (e *permanentError) Error() string { return e.err.Error() }
 
-func postOnce(client *http.Client, url string, body []byte) error {
-	resp, err := client.Post(url, "application/x-ndjson", bytes.NewReader(body))
+func postOnce(client *http.Client, url string, body []byte, tc sensorguard.SpanContext) error {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return &permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if tc.Valid() {
+		req.Header.Set(sensorguard.TraceparentHeader, tc.Traceparent())
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return err // transport-level: refused, reset, timeout — retryable
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,7 +18,7 @@ import (
 
 func TestRunGeneratesCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-days", "2", "-sensors", "5", "-seed", "3"}, &buf); err != nil {
+	if err := run([]string{"-days", "2", "-sensors", "5", "-seed", "3"}, &buf, io.Discard); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	tr, err := sensorguard.ReadTraceCSV(&buf)
@@ -36,7 +37,7 @@ func TestRunFaultVariants(t *testing.T) {
 	for _, f := range []string{"stuck", "calibration", "additive", "decay", "noise"} {
 		t.Run(f, func(t *testing.T) {
 			var buf bytes.Buffer
-			err := run([]string{"-days", "2", "-fault", f, "-fault-start", "1h"}, &buf)
+			err := run([]string{"-days", "2", "-fault", f, "-fault-start", "1h"}, &buf, io.Discard)
 			if err != nil {
 				t.Fatalf("run with fault %s: %v", f, err)
 			}
@@ -45,7 +46,7 @@ func TestRunFaultVariants(t *testing.T) {
 			}
 		})
 	}
-	if err := run([]string{"-fault", "bogus"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-fault", "bogus"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("unknown fault accepted")
 	}
 }
@@ -54,22 +55,22 @@ func TestRunAttackVariants(t *testing.T) {
 	for _, a := range []string{"creation", "deletion", "change"} {
 		t.Run(a, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run([]string{"-days", "2", "-attack", a}, &buf); err != nil {
+			if err := run([]string{"-days", "2", "-attack", a}, &buf, io.Discard); err != nil {
 				t.Fatalf("run with attack %s: %v", a, err)
 			}
 		})
 	}
-	if err := run([]string{"-attack", "bogus"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-attack", "bogus"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("unknown attack accepted")
 	}
-	if err := run([]string{"-attack", "deletion", "-malicious", "a,b"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-attack", "deletion", "-malicious", "a,b"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("bad malicious list accepted")
 	}
 }
 
 func TestRunStuckFaultShowsInOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-days", "2", "-fault", "stuck", "-fault-sensor", "3", "-fault-start", "1h"}, &buf); err != nil {
+	if err := run([]string{"-days", "2", "-fault", "stuck", "-fault-sensor", "3", "-fault-start", "1h"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// Stuck readings "15,1" must appear in the CSV rows of sensor 3.
@@ -90,7 +91,7 @@ func TestRunStreamNDJSON(t *testing.T) {
 	// encodings: -stream is a re-encoding of the trace, not a new trace.
 	gen := []string{"-days", "2", "-sensors", "5", "-seed", "3", "-fault", "stuck", "-fault-start", "1h"}
 	var csvBuf bytes.Buffer
-	if err := run(gen, &csvBuf); err != nil {
+	if err := run(gen, &csvBuf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := sensorguard.ReadTraceCSV(&csvBuf)
@@ -99,7 +100,7 @@ func TestRunStreamNDJSON(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := run(append(gen, "-stream", "-deployment", "ridge"), &buf); err != nil {
+	if err := run(append(gen, "-stream", "-deployment", "ridge"), &buf, io.Discard); err != nil {
 		t.Fatalf("run -stream: %v", err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
@@ -118,7 +119,7 @@ func TestRunStreamNDJSON(t *testing.T) {
 			t.Fatalf("line %d is %+v, want reading %+v", i, r.Reading, tr.Readings[i])
 		}
 	}
-	if err := run([]string{"-stream", "-rate", "-2"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-stream", "-rate", "-2"}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("negative rate accepted")
 	}
 }
@@ -127,7 +128,7 @@ func TestRunStreamPaced(t *testing.T) {
 	// A very high rate multiplier still exercises the pacing branch without
 	// slowing the test measurably.
 	var buf bytes.Buffer
-	if err := run([]string{"-days", "1", "-sensors", "2", "-stream", "-rate", "1e9"}, &buf); err != nil {
+	if err := run([]string{"-days", "1", "-sensors", "2", "-stream", "-rate", "1e9"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() == 0 {
@@ -184,12 +185,12 @@ func TestRunPostRetriesTransientFailures(t *testing.T) {
 
 	gen := []string{"-days", "1", "-sensors", "3", "-seed", "3",
 		"-stream", "-post", srv.URL, "-post-batch", "100", "-post-retry", "30s"}
-	if err := run(gen, io.Discard); err != nil {
+	if err := run(gen, io.Discard, io.Discard); err != nil {
 		t.Fatalf("run -post: %v", err)
 	}
 
 	var csvBuf bytes.Buffer
-	if err := run([]string{"-days", "1", "-sensors", "3", "-seed", "3"}, &csvBuf); err != nil {
+	if err := run([]string{"-days", "1", "-sensors", "3", "-seed", "3"}, &csvBuf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := sensorguard.ReadTraceCSV(&csvBuf)
@@ -229,7 +230,7 @@ func TestRunPostPermanentFailure(t *testing.T) {
 	defer srv.Close()
 
 	err := run([]string{"-days", "1", "-sensors", "2", "-stream",
-		"-post", srv.URL, "-post-retry", "30s"}, io.Discard)
+		"-post", srv.URL, "-post-retry", "30s"}, io.Discard, io.Discard)
 	if err == nil {
 		t.Fatal("4xx response did not fail the run")
 	}
@@ -248,7 +249,7 @@ func TestRunPostExhaustsRetryBudget(t *testing.T) {
 
 	start := time.Now()
 	err := run([]string{"-days", "1", "-sensors", "2", "-stream",
-		"-post", url, "-post-retry", "300ms"}, io.Discard)
+		"-post", url, "-post-retry", "300ms"}, io.Discard, io.Discard)
 	if err == nil {
 		t.Fatal("unreachable server did not fail the run")
 	}
@@ -261,10 +262,90 @@ func TestRunPostExhaustsRetryBudget(t *testing.T) {
 }
 
 func TestRunPostFlagValidation(t *testing.T) {
-	if err := run([]string{"-post", "http://x/ingest"}, io.Discard); err == nil {
+	if err := run([]string{"-post", "http://x/ingest"}, io.Discard, io.Discard); err == nil {
 		t.Error("-post without -stream accepted")
 	}
-	if err := run([]string{"-stream", "-post", "http://x/ingest", "-post-batch", "0"}, io.Discard); err == nil {
+	if err := run([]string{"-stream", "-post", "http://x/ingest", "-post-batch", "0"}, io.Discard, io.Discard); err == nil {
 		t.Error("zero -post-batch accepted")
+	}
+}
+
+// TestRunPostStampsTraceContext checks the producer-side tracing contract:
+// every POST carries a valid Traceparent header, each batch gets its own
+// trace ID, retries of one batch reuse that batch's trace ID, and every
+// retry emits a structured NDJSON event naming it on the diagnostic stream.
+func TestRunPostStampsTraceContext(t *testing.T) {
+	var (
+		mu       sync.Mutex
+		requests int
+		headers  []string
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		requests++
+		headers = append(headers, r.Header.Get(sensorguard.TraceparentHeader))
+		if requests == 2 { // fail the second batch once: one retry
+			http.Error(w, "shard queue unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, `{"accepted":0,"rejected":0,"dropped":0}`)
+	}))
+	defer srv.Close()
+
+	var diag bytes.Buffer
+	gen := []string{"-days", "1", "-sensors", "3", "-seed", "3",
+		"-stream", "-post", srv.URL, "-post-batch", "500", "-post-retry", "30s"}
+	if err := run(gen, io.Discard, &diag); err != nil {
+		t.Fatalf("run -post: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if requests < 3 {
+		t.Fatalf("server saw %d requests, want at least 2 batches + 1 retry", requests)
+	}
+	traceIDs := map[string]bool{}
+	for i, h := range headers {
+		tc, ok := sensorguard.ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("request %d Traceparent %q does not parse", i, h)
+		}
+		traceIDs[tc.Trace.String()] = true
+	}
+	// Batches 1..N each mint a trace; the retry reuses batch 2's, so the
+	// distinct trace count is one less than the request count.
+	if len(traceIDs) != requests-1 {
+		t.Errorf("%d requests carry %d distinct trace IDs, want %d", requests, len(traceIDs), requests-1)
+	}
+	if headers[1] != headers[2] {
+		t.Errorf("retry re-minted the trace context: %q then %q", headers[1], headers[2])
+	}
+
+	// The retry left one structured event on the diagnostic stream.
+	retried, ok := sensorguard.ParseTraceparent(headers[1])
+	if !ok {
+		t.Fatal("failed request carried no parseable context")
+	}
+	var events []retryEvent
+	for _, line := range strings.Split(strings.TrimRight(diag.String(), "\n"), "\n") {
+		if !strings.Contains(line, "ingest_post_retry") {
+			continue
+		}
+		var ev retryEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("retry event not JSON: %v\n%s", err, line)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d retry events, want 1:\n%s", len(events), diag.String())
+	}
+	ev := events[0]
+	if ev.Event != "ingest_post_retry" || ev.Attempt != 1 || ev.TraceID != retried.Trace.String() {
+		t.Errorf("retry event %+v does not name attempt 1 of trace %s", ev, retried.Trace.String())
+	}
+	if ev.BackoffMS <= 0 || ev.Err == "" {
+		t.Errorf("retry event %+v missing backoff or error detail", ev)
 	}
 }

@@ -70,6 +70,10 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 	ckptInterval := fs.Duration("checkpoint-interval", 0, "serve mode: wall-clock checkpoint cadence (default 1m when -checkpoint-dir is set and -checkpoint-every is 0)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "serve mode: checkpoint after this many applied readings per shard (0 = interval only)")
 	doRecover := fs.Bool("recover", false, "serve mode: restore state from -checkpoint-dir (newest valid checkpoint + journal replay) before serving")
+	traces := fs.Int("traces", 64, "serve mode: retain this many recent traces on /debug/traces (0 disables tracing)")
+	traceSample := fs.Int("trace-sample", 16, "serve mode: sample one listener-rooted trace per this many ingest batches")
+	decisions := fs.Int("decisions", 256, "serve mode: retain this many decision records per deployment on /debug/decisions/{deployment} (0 disables)")
+	auditLog := fs.String("audit-log", "", "serve mode: append every decision record as NDJSON to this file (\"-\" = stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +101,10 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 			ckptInterval: *ckptInterval,
 			ckptEvery:    *ckptEvery,
 			recover:      *doRecover,
+			traces:       *traces,
+			traceSample:  *traceSample,
+			decisions:    *decisions,
+			auditLog:     *auditLog,
 		}, stdin, out, errOut)
 	}
 	if fs.NArg() != 1 {

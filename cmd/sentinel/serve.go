@@ -31,6 +31,10 @@ type serveOptions struct {
 	ckptInterval time.Duration
 	ckptEvery    int
 	recover      bool
+	traces       int    // trace ring capacity; 0 disables tracing
+	traceSample  int    // sample one listener-rooted trace per N batches
+	decisions    int    // decision records retained per deployment; 0 disables
+	auditLog     string // NDJSON decision audit log: "-" = stderr, else a path
 }
 
 // shutdownGrace bounds how long in-flight HTTP requests may run after a
@@ -56,16 +60,39 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 		return err
 	}
 	metrics := sensorguard.NewMetricsRegistry()
+	var tracer *sensorguard.Tracer
+	if o.traces > 0 {
+		tracer = sensorguard.NewTracer(sensorguard.TracerConfig{
+			SampleEvery: o.traceSample,
+			MaxTraces:   o.traces,
+		})
+	}
+	var audit io.Writer
+	if o.auditLog != "" {
+		if o.auditLog == "-" {
+			audit = errOut
+		} else {
+			f, err := os.OpenFile(o.auditLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("audit log: %w", err)
+			}
+			defer f.Close()
+			audit = f
+		}
+	}
 	pool, err := sensorguard.NewFleet(sensorguard.FleetConfig{
-		Shards:    o.shards,
-		QueueLen:  o.queueLen,
-		Policy:    policy,
-		Window:    o.window,
-		Lateness:  o.lateness,
-		Bootstrap: o.bootstrap,
-		States:    o.states,
-		Seed:      o.seed,
-		Metrics:   metrics,
+		Shards:         o.shards,
+		QueueLen:       o.queueLen,
+		Policy:         policy,
+		Window:         o.window,
+		Lateness:       o.lateness,
+		Bootstrap:      o.bootstrap,
+		States:         o.states,
+		Seed:           o.seed,
+		Metrics:        metrics,
+		Tracer:         tracer,
+		DecisionBuffer: o.decisions,
+		AuditLog:       audit,
 		Durability: sensorguard.FleetDurability{
 			Dir:      o.ckptDir,
 			Interval: o.ckptInterval,
@@ -75,6 +102,13 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		fmt.Fprintf(errOut, "sentinel: tracing 1/%d ingest batches, last %d traces on /debug/traces\n",
+			max(o.traceSample, 1), o.traces)
+	}
+	if o.decisions > 0 {
+		fmt.Fprintf(errOut, "sentinel: retaining %d decision records per deployment on /debug/decisions/{deployment}\n", o.decisions)
 	}
 	if o.ckptDir != "" {
 		fmt.Fprintf(errOut, "sentinel: journaling readings and checkpointing state under %s (recover=%v)\n", o.ckptDir, o.recover)
@@ -88,7 +122,7 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 
 	var tcpSrv *sensorguard.IngestTCPServer
 	if o.tcp != "" {
-		tcpSrv, err = sensorguard.ServeIngestTCP(o.tcp, pool)
+		tcpSrv, err = sensorguard.ServeIngestTCPTraced(o.tcp, pool, tracer)
 		if err != nil {
 			srv.Close()
 			return err
@@ -119,7 +153,7 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 			defer f.Close()
 			in = f
 		}
-		st, err := sensorguard.ReadIngestStream(in, pool)
+		st, err := sensorguard.ReadIngestStreamTraced(in, pool, tracer)
 		if err != nil {
 			return err
 		}

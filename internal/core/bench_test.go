@@ -66,6 +66,68 @@ func BenchmarkStepWithTrackedSensor(b *testing.B) {
 	}
 }
 
+// BenchmarkStepTraced is BenchmarkStep with a tracer attached and every
+// window carrying a freshly minted sampled context — the worst case, where
+// each window emits a root span plus five stage spans. Comparing against
+// BenchmarkStep gives the sampled-on tracing overhead for EXPERIMENTS.md.
+func BenchmarkStepTraced(b *testing.B) {
+	cfg := DefaultConfig(keyStates())
+	cfg.Tracer = obs.NewTracer(obs.TracerConfig{SampleEvery: 1})
+	d, err := NewDetector(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := keyStates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := uniformWindow(i, 10, points[i%4])
+		w.Trace = obs.NewRootContext()
+		if _, err := d.Step(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepTracerIdle has a tracer attached but no sampled context on
+// any window — the common case under 1/N sampling. It must track
+// BenchmarkStep within noise: an idle tracer costs one nil check.
+func BenchmarkStepTracerIdle(b *testing.B) {
+	cfg := DefaultConfig(keyStates())
+	cfg.Tracer = obs.NewTracer(obs.TracerConfig{SampleEvery: 1})
+	d, err := NewDetector(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := keyStates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := uniformWindow(i, 10, points[i%4])
+		if _, err := d.Step(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepWithDecisions measures the decision-record path: every window
+// assembles a full DecisionRecord (including the B^CO structural evidence)
+// into a ring sink.
+func BenchmarkStepWithDecisions(b *testing.B) {
+	cfg := DefaultConfig(keyStates())
+	cfg.Decisions = NewDecisionRing(256)
+	d, err := NewDetector(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := keyStates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := uniformWindow(i, 10, points[i%4])
+		if _, err := d.Step(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkReport measures the full structural classification.
 func BenchmarkReport(b *testing.B) {
 	d, err := NewDetector(DefaultConfig(keyStates()))

@@ -76,6 +76,13 @@ type Config struct {
 	// latency histograms in Observer.Metrics and one obs.Event per window
 	// on Observer.Sink. A nil Observer adds no overhead to Step.
 	Observer *obs.Observer
+	// Tracer, when non-nil, records a "detector.step" span with per-stage
+	// children for every window carrying a sampled span context (see
+	// network.Window.Trace). A nil tracer adds only a nil check to Step.
+	Tracer *obs.Tracer
+	// Decisions, when non-nil, receives one DecisionRecord per window —
+	// the full provenance of the verdict. Nil adds no overhead.
+	Decisions DecisionSink
 }
 
 // DefaultConfig returns the Table 1 configuration for the given initial

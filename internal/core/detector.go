@@ -37,6 +37,12 @@ type Detector struct {
 	seen        map[int]bool
 
 	inst *instruments
+	// tracer and decisions are the provenance hooks: tracer records stage
+	// spans for windows carrying a sampled trace context, decisions
+	// receives one DecisionRecord per window. Both nil in the bare hot
+	// path.
+	tracer    *obs.Tracer
+	decisions DecisionSink
 	// epoch anchors stage timing: boundaries take monotonic marks via
 	// time.Since(epoch), which skips the wall-clock read of time.Now and
 	// roughly halves the per-mark cost on the instrumented hot path.
@@ -132,13 +138,25 @@ func NewDetector(cfg Config) (*Detector, error) {
 		seen:        make(map[int]bool),
 		profiles:    make(map[int]map[int][]runstats.Running),
 		inst:        newInstruments(cfg.Observer),
+		tracer:      cfg.Tracer,
+		decisions:   cfg.Decisions,
 		epoch:       time.Now(),
 	}, nil
 }
 
+// SetTracer installs (or removes) the span tracer. The serving layer wires
+// it after construction because detectors are built behind factory hooks
+// (fleet bootstrap, checkpoint restore) that predate the pool's tracer.
+func (d *Detector) SetTracer(t *obs.Tracer) { d.tracer = t }
+
+// SetDecisionSink installs (or removes) the per-window decision sink; wired
+// post-construction for the same reason as SetTracer.
+func (d *Detector) SetDecisionSink(s DecisionSink) { d.decisions = s }
+
 // Step folds in one observation window.
 func (d *Detector) Step(w network.Window) (StepResult, error) {
-	if d.inst == nil {
+	traced := d.tracer != nil && w.Trace.Recording()
+	if d.inst == nil && !traced && d.decisions == nil {
 		return d.step(w, nil)
 	}
 	ev := obs.Event{Window: w.Index, Readings: len(w.Readings)}
@@ -148,8 +166,52 @@ func (d *Detector) Step(w network.Window) (StepResult, error) {
 	}
 	lat := &ev.Latency
 	lat.TotalNS = lat.DeriveNS + lat.ClassifyNS + lat.MapNS + lat.AlarmNS + lat.HMMNS
-	d.inst.finish(d, res, &ev)
+	if d.inst != nil {
+		d.inst.finish(d, res, &ev)
+	}
+	if traced {
+		d.emitSpans(w, &ev)
+	}
+	if d.decisions != nil {
+		d.decisions.Record(d.decide(w, res))
+	}
 	return res, nil
+}
+
+// emitSpans registers the window's stage spans post hoc: the boundaries were
+// already measured as cumulative marks in step, so the spans are
+// reconstructed backwards from now using the recorded stage latencies —
+// the hot path never takes extra timestamps for tracing.
+func (d *Detector) emitSpans(w network.Window, ev *obs.Event) {
+	end := time.Now()
+	start := end.Add(-time.Duration(ev.Latency.TotalNS))
+	root := d.tracer.StartSpanAt("detector.step", w.Trace, start)
+	root.SetInt("window", int64(ev.Window))
+	if ev.Skipped {
+		root.SetAttr("skipped", "true")
+	} else {
+		root.SetInt("observable", int64(ev.Observable))
+		root.SetInt("correct", int64(ev.Correct))
+		root.SetInt("raw_alarms", int64(ev.RawAlarms))
+		root.SetInt("filtered_alarms", int64(ev.FilteredAlarms))
+	}
+	ctx := root.Context()
+	cursor := start
+	for _, st := range []struct {
+		name string
+		ns   int64
+	}{
+		{"detector.derive", ev.Latency.DeriveNS},
+		{"detector.classify", ev.Latency.ClassifyNS},
+		{"detector.map", ev.Latency.MapNS},
+		{"detector.alarm", ev.Latency.AlarmNS},
+		{"detector.hmm", ev.Latency.HMMNS},
+	} {
+		sp := d.tracer.StartSpanAt(st.name, ctx, cursor)
+		cursor = cursor.Add(time.Duration(st.ns))
+		sp.EndAt(cursor)
+	}
+	root.EndAt(end)
 }
 
 // step is the uninstrumented pipeline body. ev is nil when no observer is

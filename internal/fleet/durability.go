@@ -11,6 +11,7 @@ import (
 
 	"sensorguard/internal/core"
 	"sensorguard/internal/ingest"
+	"sensorguard/internal/obs"
 )
 
 // Durability configures the write-ahead journal and periodic checkpoints.
@@ -183,7 +184,7 @@ replay:
 func (s *shard) restoreAll(cf *checkpointFile) (map[string]*deployment, error) {
 	out := make(map[string]*deployment, len(cf.deployments))
 	for _, rec := range cf.deployments {
-		d, err := restoreDeployment(rec, s.pool.cfg)
+		d, err := s.restoreDeployment(rec)
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +195,10 @@ func (s *shard) restoreAll(cf *checkpointFile) (map[string]*deployment, error) {
 
 // restoreDeployment rebuilds one deployment from its checkpoint record,
 // validating every layer; it never returns a partially-restored deployment.
-func restoreDeployment(rec deploymentCheckpoint, cfg Config) (*deployment, error) {
+// Restored detectors are rewired to the pool's tracer and decision sinks —
+// provenance survives a crash even though trace annotations do not.
+func (s *shard) restoreDeployment(rec deploymentCheckpoint) (*deployment, error) {
+	cfg := s.pool.cfg
 	if rec.FirstNS < 0 {
 		return nil, fmt.Errorf("fleet: deployment %s has negative first-reading time", rec.Name)
 	}
@@ -239,6 +243,7 @@ func restoreDeployment(rec deploymentCheckpoint, cfg Config) (*deployment, error
 		if err != nil {
 			return nil, fmt.Errorf("fleet: deployment %s: %w", rec.Name, err)
 		}
+		d.decisions = s.wire(rec.Name, det)
 		d.det = core.NewShared(det)
 	}
 	if rec.Err != "" {
@@ -272,6 +277,14 @@ func (s *shard) maybeCheckpoint() {
 // rotates the journal so replay after this checkpoint only reads forward.
 func (s *shard) checkpoint() error {
 	seq := s.applied
+	// The checkpoint joins the trace of the newest sampled reading it covers;
+	// on an error path the span is simply never recorded.
+	var sp *obs.Span
+	if s.lastTrace.Recording() {
+		sp = s.pool.cfg.Tracer.StartSpan("checkpoint.append", s.lastTrace)
+		s.lastTrace = obs.SpanContext{}
+		sp.SetInt("seq", int64(seq))
+	}
 	s.mu.RLock()
 	deps := make([]*deployment, 0, len(s.deployments))
 	for _, d := range s.deployments {
@@ -298,11 +311,15 @@ func (s *shard) checkpoint() error {
 	if err != nil {
 		return err
 	}
+	sp.SetInt("bytes", int64(bytes))
+	sp.End()
+	now := time.Now()
 	s.m.ckptBytes.Set(float64(bytes))
-	s.m.ckptUnix.Set(float64(time.Now().Unix()))
+	s.m.ckptUnix.Set(float64(now.Unix()))
 	s.m.checkpoints.Inc()
+	s.ckptUnix.Store(now.Unix())
 	s.lastCkptSeq = seq
-	s.lastCkptTime = time.Now()
+	s.lastCkptTime = now
 
 	// Rotate at nextSeq, not at the checkpoint seq: readings journaled
 	// while the checkpoint was being built live in the old segment with

@@ -521,8 +521,9 @@ func TestRestoreRejectsBadDeploymentRecords(t *testing.T) {
 		"bad-pending": {Name: "d", State: StateBootstrapping,
 			Pending: []checkpointReading{{Sensor: 0, TimeNS: -5, Values: []float64{1}}}},
 	}
+	s := &shard{pool: &Pool{cfg: cfg}}
 	for name, rec := range cases {
-		if _, err := restoreDeployment(rec, cfg); err == nil {
+		if _, err := s.restoreDeployment(rec); err == nil {
 			t.Errorf("%s: restored without error", name)
 		}
 	}

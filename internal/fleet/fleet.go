@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math/rand"
 	"sort"
 	"sync"
@@ -83,6 +84,17 @@ type Config struct {
 	NewDetector func(seeds []vecmat.Vector) (*core.Detector, error)
 	// Metrics, when non-nil, receives the pool and per-shard metrics.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records spans for sampled readings end to end:
+	// journal append, queue wait, window admission, detector stages, and
+	// checkpoint append all join the trace the ingest listener started (or
+	// the producer stamped via a Traceparent batch header).
+	Tracer *obs.Tracer
+	// DecisionBuffer retains the last N decision records per deployment,
+	// served on /debug/decisions/{deployment}. Zero disables the rings.
+	DecisionBuffer int
+	// AuditLog, when non-nil, receives every deployment's decision records
+	// as NDJSON — the durable audit trail of every verdict.
+	AuditLog io.Writer
 	// Durability enables the write-ahead journal and periodic checkpoints
 	// when Durability.Dir is set.
 	Durability Durability
@@ -158,9 +170,12 @@ type Pool struct {
 	aborted atomic.Bool
 	drained chan struct{}
 
-	readings *obs.Counter
-	panics   *obs.Counter
-	restarts *obs.Counter
+	readings  *obs.Counter
+	panics    *obs.Counter
+	restarts  *obs.Counter
+	queueWait *obs.Histogram
+
+	audit *core.DecisionLog
 }
 
 // New builds and starts the pool; callers must Drain it when done. With
@@ -176,6 +191,11 @@ func New(cfg Config) (*Pool, error) {
 		p.readings = reg.Counter("fleet_readings_total", "readings accepted into shard queues")
 		p.panics = reg.Counter("fleet_panics_total", "shard worker panics recovered by the supervisor")
 		p.restarts = reg.Counter("fleet_restarts_total", "shard worker restarts after a recovered panic")
+		p.queueWait = reg.Histogram("fleet_queue_wait_seconds",
+			"time a reading spends in its shard queue between Submit and worker pickup", obs.LatencyBuckets())
+	}
+	if cfg.AuditLog != nil {
+		p.audit = core.NewDecisionLog(cfg.AuditLog)
 	}
 	p.shards = make([]*shard, cfg.Shards)
 	for i := range p.shards {
@@ -232,6 +252,7 @@ func (p *Pool) Submit(r ingest.Reading) error {
 	}
 	var seq uint64
 	if s.dur != nil {
+		jsp := p.cfg.Tracer.StartSpan("journal.append", r.Trace)
 		s.dur.mu.Lock()
 		s.dur.nextSeq++
 		seq = s.dur.nextSeq
@@ -244,12 +265,20 @@ func (p *Pool) Submit(r ingest.Reading) error {
 			Values:     r.Values,
 		})
 		s.dur.mu.Unlock()
+		jsp.SetInt("seq", int64(seq))
+		jsp.End()
 		if err != nil {
 			<-s.slots
 			return fmt.Errorf("fleet: journal: %w", err)
 		}
 	}
-	s.queue <- queued{seq: seq, r: r} // cannot block: a slot is held
+	q := queued{seq: seq, r: r}
+	// The enqueue timestamp feeds the queue-wait histogram and the
+	// ingest.queue_wait span; skip the clock read when neither is on.
+	if p.queueWait != nil || r.Trace.Recording() {
+		q.enq = time.Now()
+	}
+	s.queue <- q // cannot block: a slot is held
 	p.readings.Inc()
 	s.m.depth.Set(float64(len(s.queue)))
 	return nil
@@ -320,11 +349,17 @@ type Status struct {
 	// (a terminal pipeline error), or "quarantined" (a recovered worker
 	// panic isolated this deployment; the rest of the shard keeps going).
 	State string `json:"state"`
+	// Quarantined mirrors State == "quarantined" for quick filtering.
+	Quarantined bool `json:"quarantined,omitempty"`
 	// Bootstrapped reports whether the detector is running (false while
 	// the bootstrap horizon is still buffering).
 	Bootstrapped bool `json:"bootstrapped"`
 	// Detector is the counter snapshot (zero until bootstrapped).
 	Detector core.Stats `json:"detector"`
+	// CheckpointUnix and CheckpointAgeSeconds describe the owning shard's
+	// newest checkpoint (zero with durability off or before the first one).
+	CheckpointUnix       int64   `json:"checkpoint_unix,omitempty"`
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
 	// Err is the terminal pipeline error, if the deployment died.
 	Err string `json:"err,omitempty"`
 }
@@ -340,6 +375,11 @@ func (p *Pool) Status(deployment string) (Status, error) {
 		Shard:      shardIndex(deployment, len(p.shards)),
 		State:      d.stateName(),
 	}
+	st.Quarantined = st.State == StateQuarantined
+	if u := p.shards[st.Shard].ckptUnix.Load(); u > 0 {
+		st.CheckpointUnix = u
+		st.CheckpointAgeSeconds = time.Since(time.Unix(u, 0)).Seconds()
+	}
 	det, derr := d.snapshot()
 	if derr != nil {
 		st.Err = derr.Error()
@@ -349,6 +389,92 @@ func (p *Pool) Status(deployment string) (Status, error) {
 		st.Detector = det.Stats()
 	}
 	return st, nil
+}
+
+// Tracer returns the pool's span tracer (nil when tracing is off).
+func (p *Pool) Tracer() *obs.Tracer { return p.cfg.Tracer }
+
+// Decisions returns a deployment's retained decision records, oldest first.
+// It returns ErrUnknownDeployment for a deployment never seen, and an empty
+// slice when decision buffering is off or the deployment has not emitted a
+// window yet.
+func (p *Pool) Decisions(deployment string) ([]core.DecisionRecord, error) {
+	d, err := p.lookup(deployment)
+	if err != nil {
+		return nil, err
+	}
+	ring := d.decisionRing()
+	if ring == nil {
+		return []core.DecisionRecord{}, nil
+	}
+	return ring.Records(), nil
+}
+
+// Health is the pool's readiness verdict, served on /healthz: "ok" until
+// queue saturation, checkpoint staleness, quarantined deployments, or a
+// drain degrade it.
+type Health struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+	// Reasons says what degraded the pool (empty when ok).
+	Reasons []string `json:"reasons,omitempty"`
+	// QueueSaturation is the fullest shard queue as a fraction of capacity.
+	QueueSaturation float64 `json:"queue_saturation"`
+	// CheckpointAgeSeconds is the age of the stalest shard checkpoint
+	// (zero before the first checkpoint or with durability off).
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
+	// Quarantined lists deployments isolated by worker panics, sorted.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// Draining reports a pool past Drain.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// Health computes the readiness verdict. Degradation thresholds: any shard
+// queue ≥ 90% full, any quarantined deployment, a checkpoint older than three
+// intervals (interval-based durability only), or a drain in progress.
+func (p *Pool) Health() Health {
+	h := Health{Status: "ok"}
+	p.mu.RLock()
+	h.Draining = p.closed
+	p.mu.RUnlock()
+	interval := time.Duration(0)
+	if p.cfg.Durability.Dir != "" {
+		interval = p.cfg.Durability.Interval
+	}
+	for _, s := range p.shards {
+		if sat := float64(len(s.queue)) / float64(cap(s.queue)); sat > h.QueueSaturation {
+			h.QueueSaturation = sat
+		}
+		if u := s.ckptUnix.Load(); u > 0 {
+			if age := time.Since(time.Unix(u, 0)).Seconds(); age > h.CheckpointAgeSeconds {
+				h.CheckpointAgeSeconds = age
+			}
+		}
+		s.mu.RLock()
+		for name, d := range s.deployments {
+			if d.stateName() == StateQuarantined {
+				h.Quarantined = append(h.Quarantined, name)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(h.Quarantined)
+	if h.QueueSaturation >= 0.9 {
+		h.Reasons = append(h.Reasons, fmt.Sprintf("queue saturation %.0f%%", h.QueueSaturation*100))
+	}
+	if len(h.Quarantined) > 0 {
+		h.Reasons = append(h.Reasons, fmt.Sprintf("%d quarantined deployment(s)", len(h.Quarantined)))
+	}
+	if interval > 0 && h.CheckpointAgeSeconds > 3*interval.Seconds() {
+		h.Reasons = append(h.Reasons, fmt.Sprintf("checkpoint %.0fs old (interval %s)", h.CheckpointAgeSeconds, interval))
+	}
+	if h.Draining {
+		h.Reasons = append(h.Reasons, "draining")
+	}
+	if len(h.Reasons) > 0 {
+		h.Status = "degraded"
+	}
+	return h
 }
 
 // Deployments lists every deployment seen, sorted.
@@ -392,10 +518,12 @@ type shardMetrics struct {
 }
 
 // queued is one admitted reading plus its journal sequence (0 when
-// durability is off).
+// durability is off) and enqueue time (zero when neither the queue-wait
+// histogram nor a sampled trace wants it).
 type queued struct {
 	seq uint64
 	r   ingest.Reading
+	enq time.Time
 }
 
 type shard struct {
@@ -412,6 +540,13 @@ type shard struct {
 	lastCkptSeq  uint64
 	lastCkptTime time.Time
 	current      *deployment // deployment being handled, for panic attribution
+	// lastTrace is the newest sampled context the worker applied; the next
+	// checkpoint's span links into that trace (worker-owned).
+	lastTrace obs.SpanContext
+
+	// ckptUnix is the wall-clock second of the newest checkpoint, readable
+	// from Health/Status without crossing into worker state (0 = none yet).
+	ckptUnix atomic.Int64
 
 	mu          sync.RWMutex // guards the deployments map (worker writes, Report reads)
 	deployments map[string]*deployment
@@ -458,8 +593,16 @@ type deployment struct {
 
 	mu          sync.Mutex
 	det         *core.Shared
+	decisions   *core.DecisionRing // nil when Config.DecisionBuffer is 0
 	err         error
 	quarantined bool
+}
+
+// decisionRing returns the deployment's decision ring under the lock.
+func (d *deployment) decisionRing() *core.DecisionRing {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.decisions
 }
 
 // snapshot returns the detector handle and terminal error under the lock.
@@ -558,6 +701,18 @@ func (s *shard) consume() (restart bool) {
 			return false
 		}
 		s.m.depth.Set(float64(len(s.queue)))
+		if !q.enq.IsZero() {
+			wait := time.Since(q.enq)
+			s.pool.queueWait.Observe(wait.Seconds())
+			if q.r.Trace.Recording() {
+				sp := s.pool.cfg.Tracer.StartSpanAt("ingest.queue_wait", q.r.Trace, q.enq)
+				sp.SetInt("shard", int64(s.id))
+				sp.End()
+			}
+		}
+		if q.r.Trace.Recording() {
+			s.lastTrace = q.r.Trace
+		}
 		s.applied = q.seq
 		s.current = s.deployment(q.r.Deployment)
 		s.handle(s.current, q.r)
@@ -609,7 +764,7 @@ func (s *shard) handle(d *deployment, r ingest.Reading) {
 			return
 		}
 	}
-	s.feed(d, r.Reading)
+	s.feed(d, r.Reading, r.Trace)
 	s.updateLag()
 }
 
@@ -636,20 +791,62 @@ func (s *shard) bootstrap(d *deployment) error {
 	if err != nil {
 		return err
 	}
+	ring := s.wire(d.name, det)
 	d.wd = wd
 	d.mu.Lock()
 	d.det = core.NewShared(det)
+	d.decisions = ring
 	d.mu.Unlock()
 	pending := d.pending
 	d.pending = nil
 	for _, r := range pending {
-		s.feed(d, r)
+		s.feed(d, r, obs.SpanContext{})
 	}
 	return nil
 }
 
-func (s *shard) feed(d *deployment, r sensor.Reading) {
-	for _, w := range d.wd.Add(r) {
+// namedSink stamps the deployment name on each decision record and fans it
+// out to the deployment's ring and the pool-wide audit log.
+type namedSink struct {
+	deployment string
+	ring       *core.DecisionRing
+	log        *core.DecisionLog
+}
+
+func (n *namedSink) Record(rec core.DecisionRecord) {
+	rec.Deployment = n.deployment
+	if n.ring != nil {
+		n.ring.Record(rec)
+	}
+	if n.log != nil {
+		n.log.Record(rec)
+	}
+}
+
+// wire attaches the pool's tracer and decision sinks to a freshly built or
+// restored detector; it returns the deployment's decision ring (nil when
+// DecisionBuffer is 0).
+func (s *shard) wire(name string, det *core.Detector) *core.DecisionRing {
+	cfg := s.pool.cfg
+	det.SetTracer(cfg.Tracer)
+	var ring *core.DecisionRing
+	if cfg.DecisionBuffer > 0 {
+		ring = core.NewDecisionRing(cfg.DecisionBuffer)
+	}
+	if ring != nil || s.pool.audit != nil {
+		det.SetDecisionSink(&namedSink{deployment: name, ring: ring, log: s.pool.audit})
+	}
+	return ring
+}
+
+func (s *shard) feed(d *deployment, r sensor.Reading, tc obs.SpanContext) {
+	sp := s.pool.cfg.Tracer.StartSpan("window.admit", tc)
+	wins := d.wd.AddTraced(r, tc)
+	if sp != nil {
+		sp.SetInt("emitted", int64(len(wins)))
+		sp.End()
+	}
+	for _, w := range wins {
 		s.step(d, w)
 	}
 	if late := d.wd.Late(); late != d.late {

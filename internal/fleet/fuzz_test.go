@@ -45,6 +45,7 @@ func FuzzCheckpointDecode(f *testing.F) {
 	f.Add(append([]byte(checkpointMagic), 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0))
 
 	cfg := Config{Durability: Durability{Dir: "unused"}}.withDefaults()
+	fuzzShard := &shard{pool: &Pool{cfg: cfg}}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cf, err := decodeCheckpoint(data, 0, 1)
 		if err != nil {
@@ -53,7 +54,7 @@ func FuzzCheckpointDecode(f *testing.F) {
 		// A decoded checkpoint must restore all-or-nothing.
 		restored := 0
 		for _, rec := range cf.deployments {
-			d, err := restoreDeployment(rec, cfg)
+			d, err := fuzzShard.restoreDeployment(rec)
 			if err != nil {
 				continue // rejected record: the whole checkpoint is discarded
 			}

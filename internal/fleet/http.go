@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"sensorguard/internal/core"
 	"sensorguard/internal/ingest"
 	"sensorguard/internal/obs"
 )
@@ -12,21 +13,25 @@ import (
 // Handler builds the serve-mode HTTP surface on top of the observability
 // mux, so ingestion, live diagnosis, and /metrics share one listener:
 //
-//	POST /ingest                NDJSON reading stream → ingest.StreamStats
-//	GET  /report/{deployment}   live structural diagnosis as JSON
-//	GET  /status/{deployment}   live counters/bootstrap state as JSON
-//	GET  /deployments           the deployments seen, as a JSON list
-//	/metrics, /metrics.json, /debug/vars, /healthz, /debug/pprof  (from obs)
+//	POST /ingest                       NDJSON reading stream → ingest.StreamStats
+//	GET  /report/{deployment}          live structural diagnosis as JSON
+//	GET  /status/{deployment}          live counters/bootstrap state as JSON
+//	GET  /status                       pool health + every deployment's status
+//	GET  /deployments                  the deployments seen, as a JSON list
+//	GET  /healthz                      readiness verdict (200 ok / 503 degraded)
+//	GET  /debug/traces                 recent sampled traces (see obs.Tracer)
+//	GET  /debug/decisions/{deployment} recent decision records, oldest first
+//	/metrics, /metrics.json, /debug/vars, /debug/pprof  (from obs, reg != nil)
 //
-// reg may be nil, in which case only the ingest/report routes are mounted.
+// reg may be nil, in which case the metrics routes are not mounted. /ingest
+// picks up a Traceparent batch header when the pool runs a tracer, so
+// producer-stamped traces continue through the fleet.
 func Handler(p *Pool, reg *obs.Registry) http.Handler {
-	var mux *http.ServeMux
+	mux := http.NewServeMux()
 	if reg != nil {
-		mux = obs.NewMux(reg)
-	} else {
-		mux = http.NewServeMux()
+		obs.Mount(mux, reg)
 	}
-	mux.Handle("POST /ingest", ingest.IngestHandler(p))
+	mux.Handle("POST /ingest", ingest.IngestHandlerTraced(p, p.Tracer()))
 	mux.HandleFunc("GET /report/{deployment}", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := p.Report(r.PathValue("deployment"))
 		if err != nil {
@@ -49,8 +54,43 @@ func Handler(p *Pool, reg *obs.Registry) http.Handler {
 		}
 		writeJSON(w, st)
 	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
+		type poolStatus struct {
+			Health      Health   `json:"health"`
+			Deployments []Status `json:"deployments"`
+		}
+		ps := poolStatus{Health: p.Health(), Deployments: []Status{}}
+		for _, name := range p.Deployments() {
+			if st, err := p.Status(name); err == nil {
+				ps.Deployments = append(ps.Deployments, st)
+			}
+		}
+		writeJSON(w, ps)
+	})
 	mux.HandleFunc("GET /deployments", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, p.Deployments())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := p.Health()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+	mux.Handle("GET /debug/traces", obs.TraceHandler(p.Tracer()))
+	mux.HandleFunc("GET /debug/decisions/{deployment}", func(w http.ResponseWriter, r *http.Request) {
+		recs, err := p.Decisions(r.PathValue("deployment"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, struct {
+			Deployment string                `json:"deployment"`
+			Decisions  []core.DecisionRecord `json:"decisions"`
+		}{r.PathValue("deployment"), recs})
 	})
 	return mux
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"sensorguard/internal/obs"
 	"sensorguard/internal/sensor"
 	"sensorguard/internal/vecmat"
 )
@@ -38,6 +39,11 @@ type Reading struct {
 	// got an ACK can safely resend a batch, and readings with Seq at or
 	// below the deployment's high-water mark are dropped as duplicates.
 	Seq uint64
+	// Trace is the span context stamped on this reading by a traced
+	// listener (one reading per sampled batch carries it — see
+	// ReadStreamTraced). It rides alongside the payload, not on the wire:
+	// batch headers carry trace context between processes.
+	Trace obs.SpanContext
 	// Reading is the ⟨t, p⟩ message itself.
 	sensor.Reading
 }

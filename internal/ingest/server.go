@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"sensorguard/internal/obs"
 )
 
 // maxLine bounds one NDJSON line (a reading with a few attributes fits in
@@ -30,6 +32,25 @@ type StreamStats struct {
 // Undecodable lines are counted, not fatal (one bad producer must not kill a
 // shared socket); consumer errors other than ErrDropped are fatal.
 func ReadStream(r io.Reader, c Consumer) (StreamStats, error) {
+	return ReadStreamTraced(r, c, nil, obs.SpanContext{})
+}
+
+// ReadStreamTraced is ReadStream under a tracer: an "ingest.decode" span
+// covers the whole batch — continuing the producer's trace when parent is a
+// recording context (a stamped traceparent header), starting a sampled root
+// when parent is zero — and the first accepted reading is stamped with the
+// span's context, so exactly one reading per sampled batch threads the trace
+// through the queue, the windower, and the detector. A nil tracer (or an
+// explicitly unsampled parent) records nothing and behaves like ReadStream.
+func ReadStreamTraced(r io.Reader, c Consumer, tr *obs.Tracer, parent obs.SpanContext) (StreamStats, error) {
+	var span *obs.Span
+	switch {
+	case parent.Recording():
+		span = tr.StartSpan("ingest.decode", parent)
+	case !parent.Valid():
+		span = tr.Root("ingest.decode")
+	}
+	ctx := span.Context()
 	var st StreamStats
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
@@ -43,23 +64,47 @@ func ReadStream(r io.Reader, c Consumer) (StreamStats, error) {
 			st.Rejected++
 			continue
 		}
+		rd.Trace = ctx
 		switch err := c.Submit(rd); {
 		case err == nil:
 			st.Accepted++
+			ctx = obs.SpanContext{} // one stamped reading per batch
 		case errors.Is(err, ErrDropped):
 			st.Dropped++
 		default:
+			finishDecodeSpan(span, st)
 			return st, err
 		}
 	}
+	finishDecodeSpan(span, st)
 	return st, sc.Err()
+}
+
+func finishDecodeSpan(span *obs.Span, st StreamStats) {
+	span.SetInt("accepted", int64(st.Accepted))
+	span.SetInt("rejected", int64(st.Rejected))
+	span.SetInt("dropped", int64(st.Dropped))
+	span.End()
 }
 
 // IngestHandler returns the HTTP handler for POST /ingest: the request body
 // is an NDJSON stream of readings, the response a JSON StreamStats.
 func IngestHandler(c Consumer) http.HandlerFunc {
+	return IngestHandlerTraced(c, nil)
+}
+
+// IngestHandlerTraced is IngestHandler under a tracer: a Traceparent request
+// header joins the batch to the producer's trace; without one the tracer's
+// root sampling applies.
+func IngestHandlerTraced(c Consumer, tr *obs.Tracer) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		st, err := ReadStream(r.Body, c)
+		var parent obs.SpanContext
+		if tr != nil {
+			if ctx, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+				parent = ctx
+			}
+		}
+		st, err := ReadStreamTraced(r.Body, c, tr, parent)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
@@ -78,10 +123,11 @@ const DefaultTCPIdleTimeout = 5 * time.Minute
 // TCPServer accepts line-delimited NDJSON readings on a TCP listener — the
 // mote-gateway-facing ingestion path, one stream per connection.
 type TCPServer struct {
-	ln   net.Listener
-	c    Consumer
-	idle time.Duration
-	wg   sync.WaitGroup
+	ln     net.Listener
+	c      Consumer
+	idle   time.Duration
+	tracer *obs.Tracer
+	wg     sync.WaitGroup
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -91,7 +137,7 @@ type TCPServer struct {
 // "127.0.0.1:0") in the background, feeding decoded readings to c.
 // Connections idle longer than DefaultTCPIdleTimeout are severed.
 func ServeTCP(addr string, c Consumer) (*TCPServer, error) {
-	return ServeTCPIdle(addr, c, DefaultTCPIdleTimeout)
+	return ServeTCPTraced(addr, c, DefaultTCPIdleTimeout, nil)
 }
 
 // ServeTCPIdle is ServeTCP with an explicit idle timeout. The read deadline
@@ -99,11 +145,18 @@ func ServeTCP(addr string, c Consumer) (*TCPServer, error) {
 // a stalled or half-open client cannot pin its goroutine (and the window
 // state behind it) forever. idle <= 0 disables the deadline.
 func ServeTCPIdle(addr string, c Consumer, idle time.Duration) (*TCPServer, error) {
+	return ServeTCPTraced(addr, c, idle, nil)
+}
+
+// ServeTCPTraced is ServeTCPIdle under a tracer: each connection's stream is
+// a root-sampled "ingest.decode" span (there is no header channel on a raw
+// socket, so TCP traces always root at the collector).
+func ServeTCPTraced(addr string, c Consumer, idle time.Duration, tr *obs.Tracer) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
 	}
-	s := &TCPServer{ln: ln, c: c, idle: idle, conns: make(map[net.Conn]struct{})}
+	s := &TCPServer{ln: ln, c: c, idle: idle, tracer: tr, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.accept()
 	return s, nil
@@ -146,7 +199,7 @@ func (s *TCPServer) accept() {
 			if s.idle > 0 {
 				r = idleConn{conn: conn, idle: s.idle}
 			}
-			_, _ = ReadStream(r, s.c)
+			_, _ = ReadStreamTraced(r, s.c, s.tracer, obs.SpanContext{})
 		}()
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sensorguard/internal/network"
+	"sensorguard/internal/obs"
 	"sensorguard/internal/sensor"
 )
 
@@ -32,6 +33,7 @@ type Windower struct {
 	lateness time.Duration
 
 	open     map[int][]sensor.Reading
+	traces   map[int]obs.SpanContext // first sampled context per open window
 	started  bool
 	nextEmit int           // lowest window index not yet emitted
 	maxIndex int           // highest window index holding a reading
@@ -53,12 +55,22 @@ func NewWindower(width, lateness time.Duration) (*Windower, error) {
 		width:    width,
 		lateness: lateness,
 		open:     make(map[int][]sensor.Reading),
+		traces:   make(map[int]obs.SpanContext),
 	}, nil
 }
 
 // Add folds one reading in and returns the windows (possibly empty gap
 // windows, in index order) that the advancing watermark has closed.
 func (w *Windower) Add(r sensor.Reading) []network.Window {
+	return w.AddTraced(r, obs.SpanContext{})
+}
+
+// AddTraced is Add carrying the reading's span context: the first recording
+// context admitted to a window is stamped on that window when it is emitted,
+// so the detector's stage spans join the trace of the batch that fed the
+// window. Trace annotations are in-memory only — they do not survive a
+// checkpoint/restore cycle (a trace that spans a crash is two traces).
+func (w *Windower) AddTraced(r sensor.Reading, tc obs.SpanContext) []network.Window {
 	idx := network.WindowIndex(r.Time, w.width)
 	if !w.started {
 		w.started = true
@@ -71,6 +83,11 @@ func (w *Windower) Add(r sensor.Reading) []network.Window {
 		return nil
 	}
 	w.open[idx] = append(w.open[idx], r)
+	if tc.Recording() {
+		if _, ok := w.traces[idx]; !ok {
+			w.traces[idx] = tc
+		}
+	}
 	if idx > w.maxIndex {
 		w.maxIndex = idx
 	}
@@ -87,11 +104,19 @@ func (w *Windower) advance() []network.Window {
 	watermark := w.maxTime - w.lateness
 	var out []network.Window
 	for time.Duration(w.nextEmit+1)*w.width <= watermark {
-		out = append(out, network.BuildWindow(w.nextEmit, w.width, w.open[w.nextEmit]))
-		delete(w.open, w.nextEmit)
+		out = append(out, w.emit(w.nextEmit))
 		w.nextEmit++
 	}
 	return out
+}
+
+// emit builds one window, consuming its buffered readings and trace context.
+func (w *Windower) emit(idx int) network.Window {
+	win := network.BuildWindow(idx, w.width, w.open[idx])
+	win.Trace = w.traces[idx]
+	delete(w.open, idx)
+	delete(w.traces, idx)
+	return win
 }
 
 // Flush emits every remaining window — open or gap — up to the highest index
@@ -102,9 +127,10 @@ func (w *Windower) Flush() []network.Window {
 	}
 	var out []network.Window
 	for i := w.nextEmit; i <= w.maxIndex; i++ {
-		out = append(out, network.BuildWindow(i, w.width, w.open[i]))
+		out = append(out, w.emit(i))
 	}
 	w.open = make(map[int][]sensor.Reading)
+	w.traces = make(map[int]obs.SpanContext)
 	w.started = false
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"sensorguard/internal/obs"
 	"sensorguard/internal/sensor"
 )
 
@@ -16,6 +17,11 @@ type Window struct {
 	Start, End time.Duration
 	// Readings are the delivered messages in arrival order.
 	Readings []sensor.Reading
+	// Trace carries the span context of a sampled reading admitted to this
+	// window, linking the detector's stage spans back to the ingest trace.
+	// The zero value (the common case) means no sampled reading landed
+	// here and the detector records no spans for the window.
+	Trace obs.SpanContext
 }
 
 // Windower partitions a time-ordered message stream into fixed-duration

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -19,6 +20,18 @@ import (
 //	/debug/pprof/  the standard pprof handlers
 func NewMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
+	Mount(mux, reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Mount registers the metrics and pprof routes on an existing mux — every
+// NewMux route except /healthz, which is left to the caller so a serving
+// surface can answer it with a real readiness verdict (see fleet.Handler)
+// instead of the plain liveness "ok".
+func Mount(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -29,15 +42,28 @@ func NewMux(reg *Registry) *http.ServeMux {
 	}
 	mux.HandleFunc("/metrics.json", vars)
 	mux.HandleFunc("/debug/vars", vars)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+}
+
+// TraceHandler serves the tracer's retained traces as JSON — the
+// /debug/traces endpoint. A nil tracer serves an empty list.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		traces := t.Traces()
+		if traces == nil {
+			traces = []TraceData{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Traces []TraceData `json:"traces"`
+		}{traces})
+	})
 }
 
 // Server serves a registry over HTTP in the background.

@@ -104,7 +104,49 @@ type (
 	NopSink = obs.NopSink
 	// DetectorStats is the cheap counter snapshot Detector.Stats returns.
 	DetectorStats = core.Stats
+	// Tracer is the sampling span tracer: assign one to Config.Tracer (or
+	// FleetConfig.Tracer) to record end-to-end traces for sampled readings.
+	Tracer = obs.Tracer
+	// TracerConfig parameterises sampling and retention.
+	TracerConfig = obs.TracerConfig
+	// SpanContext identifies a trace position; stamp one on a batch via the
+	// Traceparent header to join the producer's trace.
+	SpanContext = obs.SpanContext
+	// TraceData is one retained trace (spans plus drop count).
+	TraceData = obs.TraceData
+	// DecisionRecord is the per-window provenance of a detector verdict:
+	// observable/correct states, per-sensor mappings, alarms, track symbols,
+	// and the B^CO structural evidence (see docs/OBSERVABILITY.md).
+	DecisionRecord = core.DecisionRecord
+	// DecisionEvidence is the §3.4 structural evidence inside a record.
+	DecisionEvidence = core.DecisionEvidence
+	// DecisionSink consumes decision records (assign to Config.Decisions).
+	DecisionSink = core.DecisionSink
+	// DecisionRing retains the most recent records in memory.
+	DecisionRing = core.DecisionRing
+	// DecisionLog streams records as NDJSON — the audit-log sink.
+	DecisionLog = core.DecisionLog
 )
+
+// TraceparentHeader is the HTTP header carrying a W3C trace-context value on
+// ingest batches.
+const TraceparentHeader = obs.TraceparentHeader
+
+// NewTracer returns a sampling tracer with bounded retention.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// NewRootContext mints a fresh sampled root span context — what a producer
+// stamps on an ingest batch to get it traced end to end.
+func NewRootContext() SpanContext { return obs.NewRootContext() }
+
+// ParseTraceparent parses a W3C traceparent header value.
+func ParseTraceparent(s string) (SpanContext, bool) { return obs.ParseTraceparent(s) }
+
+// NewDecisionRing returns a sink retaining the last capacity records.
+func NewDecisionRing(capacity int) *DecisionRing { return core.NewDecisionRing(capacity) }
+
+// NewDecisionLog returns a sink writing NDJSON records to w.
+func NewDecisionLog(w io.Writer) *DecisionLog { return core.NewDecisionLog(w) }
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

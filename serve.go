@@ -37,6 +37,8 @@ type (
 	// FleetDurability configures the write-ahead journal and periodic
 	// checkpoints (see docs/RESILIENCE.md).
 	FleetDurability = fleet.Durability
+	// FleetHealth is the pool's readiness verdict, served on /healthz.
+	FleetHealth = fleet.Health
 )
 
 // Deployment lifecycle states reported in FleetStatus.State.
@@ -97,10 +99,22 @@ func ServeIngestTCP(addr string, c IngestConsumer) (*IngestTCPServer, error) {
 	return ingest.ServeTCP(addr, c)
 }
 
+// ServeIngestTCPTraced is ServeIngestTCP with per-connection "ingest.decode"
+// spans recorded under tr's sampling policy (tr may be nil).
+func ServeIngestTCPTraced(addr string, c IngestConsumer, tr *Tracer) (*IngestTCPServer, error) {
+	return ingest.ServeTCPTraced(addr, c, ingest.DefaultTCPIdleTimeout, tr)
+}
+
 // ReadIngestStream decodes NDJSON readings from r and submits each to c
 // until EOF.
 func ReadIngestStream(r io.Reader, c IngestConsumer) (IngestStats, error) {
 	return ingest.ReadStream(r, c)
+}
+
+// ReadIngestStreamTraced is ReadIngestStream recording an "ingest.decode"
+// span for the stream under tr's sampling policy (tr may be nil).
+func ReadIngestStreamTraced(r io.Reader, c IngestConsumer, tr *Tracer) (IngestStats, error) {
+	return ingest.ReadStreamTraced(r, c, tr, obs.SpanContext{})
 }
 
 // EncodeIngestLine renders a reading as one NDJSON line (no newline).
