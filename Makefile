@@ -1,0 +1,32 @@
+GO ?= go
+BENCHSTAT ?= $(GO) run golang.org/x/perf/cmd/benchstat@latest
+
+.PHONY: build test race bench bench-smoke bench-compare
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/... ./cmd/...
+
+# bench refreshes the committed trajectory files. Run on a quiet machine;
+# bench/seed_*.txt stay frozen at the numbers measured before the hot-path
+# pass.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkStep$$|BenchmarkStepWithTrackedSensor' -count 3 ./internal/core > bench/after_core.txt
+	$(GO) test -run xxx -bench IngestThroughput -count 3 -benchtime 2s ./internal/fleet > bench/after_fleet.txt
+
+# bench-smoke is the CI step: a short fixed sgbench workload that proves the
+# harness runs and the bare detector step is still zero-alloc, and leaves
+# BENCH_hotpath.json for the artifact upload.
+bench-smoke:
+	$(GO) run ./cmd/sgbench -days 1 -passes 10 -shards 1,4 -out BENCH_hotpath.json
+
+# bench-compare diffs the committed seed and after trajectories with
+# benchstat (fetches benchstat on first use; needs network).
+bench-compare:
+	$(BENCHSTAT) bench/seed_core.txt bench/after_core.txt
+	$(BENCHSTAT) bench/seed_fleet.txt bench/after_fleet.txt

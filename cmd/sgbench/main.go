@@ -1,0 +1,406 @@
+// Command sgbench is the hot-path benchmark harness: it generates a
+// synthetic GDI trace, encodes it as NDJSON (the ingest wire format), and
+// replays it through a real fleet.Pool — decode, shard routing, streaming
+// windower, detector step — measuring end-to-end ingest throughput and
+// per-window detector latency, plus the allocation count of a bare
+// Detector.Step. Results land in a JSON report (BENCH_hotpath.json in CI)
+// so the numbers travel with the commit that produced them.
+//
+// Usage:
+//
+//	sgbench [flags]
+//
+// Examples:
+//
+//	sgbench -out BENCH_hotpath.json
+//	sgbench -days 2 -passes 50 -shards 1,4,16 -out -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sensorguard/internal/cluster"
+	"sensorguard/internal/core"
+	"sensorguard/internal/fleet"
+	"sensorguard/internal/gdi"
+	"sensorguard/internal/ingest"
+	"sensorguard/internal/network"
+	"sensorguard/internal/obs"
+	"sensorguard/internal/vecmat"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	days        int
+	deployments int
+	passes      int
+	shards      string
+	seed        int64
+	out         string
+}
+
+// report is the JSON document sgbench emits. Every latency is in
+// microseconds; throughput is readings per second of wall time.
+type report struct {
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	CPUs        int          `json:"cpus"`
+	TraceDays   int          `json:"trace_days"`
+	Deployments int          `json:"deployments"`
+	Passes      int          `json:"passes"`
+	LineBytes   int          `json:"ndjson_bytes_per_pass"`
+	Decode      decodeStat   `json:"ingest_decode"`
+	Fleet       []fleetRun   `json:"fleet"`
+	BareStep    bareStepStat `json:"detector_step"`
+}
+
+// decodeStat measures the NDJSON wire decode alone. It is reported
+// separately from the fleet replay because decode runs on listener
+// goroutines in a real deployment and scales with them independently;
+// folding it into the submit loop would hide consumer backlog behind
+// producer-side decode stalls and skew the throughput number.
+type decodeStat struct {
+	Lines     int     `json:"lines"`
+	NsPerLine float64 `json:"ns_per_line"`
+	LinesSec  float64 `json:"lines_per_sec"`
+}
+
+// fleetRun is one shard-count configuration's replay result.
+type fleetRun struct {
+	Shards         int     `json:"shards"`
+	Readings       int     `json:"readings"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	ReadingsPerSec float64 `json:"readings_per_sec"`
+	Windows        uint64  `json:"windows"`
+	WindowP50us    float64 `json:"window_step_p50_us"`
+	WindowP99us    float64 `json:"window_step_p99_us"`
+}
+
+// bareStepStat measures Detector.Step alone — no queues, no decode — the
+// component the zero-alloc work targets.
+type bareStepStat struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	var o options
+	fs := flag.NewFlagSet("sgbench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.IntVar(&o.days, "days", 2, "generated trace length in days")
+	fs.IntVar(&o.deployments, "deployments", 16, "deployment keys the replay spreads readings over")
+	fs.IntVar(&o.passes, "passes", 60, "replay passes over the trace per fleet run (each pass shifts event time forward)")
+	fs.StringVar(&o.shards, "shards", "1,4,16", "comma-separated shard counts to benchmark")
+	fs.Int64Var(&o.seed, "seed", 1, "trace and bootstrap seed")
+	fs.StringVar(&o.out, "out", "BENCH_hotpath.json", "report path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.days <= 0 || o.deployments <= 0 || o.passes <= 0 {
+		return fmt.Errorf("-days, -deployments, and -passes must be positive")
+	}
+	shardCounts, err := parseShards(o.shards)
+	if err != nil {
+		return err
+	}
+
+	cfg := gdi.DefaultGenerateConfig()
+	cfg.Days = o.days
+	cfg.Seed = o.seed
+	tr, err := gdi.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if len(tr.Readings) == 0 {
+		return fmt.Errorf("generated trace is empty")
+	}
+
+	lines, lineBytes, err := encodeTrace(tr, o.deployments)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		TraceDays:   o.days,
+		Deployments: o.deployments,
+		Passes:      o.passes,
+		LineBytes:   lineBytes,
+	}
+	decoded := make([]ingest.Reading, len(lines))
+	rep.Decode, err = measureDecode(lines, decoded)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errOut, "ingest decode: %.0f ns/line (%.0f lines/sec)\n",
+		rep.Decode.NsPerLine, rep.Decode.LinesSec)
+
+	span := tr.Readings[len(tr.Readings)-1].Time + time.Hour
+	for _, shards := range shardCounts {
+		fr, err := replayFleet(decoded, shards, o.passes, span, o.seed)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		fmt.Fprintf(errOut, "fleet shards=%d: %.0f readings/sec, window step p50 %.1fµs p99 %.1fµs\n",
+			shards, fr.ReadingsPerSec, fr.WindowP50us, fr.WindowP99us)
+		rep.Fleet = append(rep.Fleet, fr)
+	}
+
+	rep.BareStep, err = measureBareStep(tr, o.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errOut, "detector step: %.0f ns/op, %.1f allocs/op\n",
+		rep.BareStep.NsPerOp, rep.BareStep.AllocsPerOp)
+
+	return writeReport(rep, o.out, out)
+}
+
+// encodeTrace renders the trace once as NDJSON lines, deployment keys
+// stamped round-robin so every shard of a multi-shard pool stays busy. The
+// replay decodes these lines each pass — the same wire path the listener
+// feeds the pool from.
+func encodeTrace(tr gdi.Trace, deployments int) ([][]byte, int, error) {
+	lines := make([][]byte, len(tr.Readings))
+	total := 0
+	for i, r := range tr.Readings {
+		line, err := ingest.EncodeLine(ingest.Reading{
+			Deployment: "dep-" + strconv.Itoa(i%deployments),
+			Reading:    r,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		lines[i] = line
+		total += len(line) + 1
+	}
+	return lines, total, nil
+}
+
+// measureDecode times the NDJSON decode over every line, filling decoded as
+// a side effect (the fleet replay reuses the decoded readings). Several
+// repeats amortise timer noise on short traces.
+func measureDecode(lines [][]byte, decoded []ingest.Reading) (decodeStat, error) {
+	const repeats = 5
+	start := time.Now()
+	for rep := 0; rep < repeats; rep++ {
+		for i, line := range lines {
+			r, err := ingest.DecodeLine(line)
+			if err != nil {
+				return decodeStat{}, err
+			}
+			decoded[i] = r
+		}
+	}
+	elapsed := time.Since(start)
+	n := repeats * len(lines)
+	return decodeStat{
+		Lines:     len(lines),
+		NsPerLine: float64(elapsed.Nanoseconds()) / float64(n),
+		LinesSec:  float64(n) / elapsed.Seconds(),
+	}, nil
+}
+
+// replayFleet benchmarks one shard count in two runs over a fresh pool
+// each. The throughput run is uninstrumented — the same workload shape as
+// the fleet ingest benchmark, so its readings/sec is directly comparable to
+// bench/seed_fleet.txt. The latency run (a quarter of the passes) installs a
+// detector observer to capture the per-window step histogram; stage
+// instrumentation costs real time per window, which is why it stays out of
+// the throughput run.
+func replayFleet(decoded []ingest.Reading, shards, passes int, span time.Duration, seed int64) (fleetRun, error) {
+	fr := fleetRun{Shards: shards}
+
+	pool, err := fleet.New(fleet.Config{Shards: shards, Seed: seed})
+	if err != nil {
+		return fleetRun{}, err
+	}
+	start := time.Now()
+	fr.Readings, err = submitPasses(pool, decoded, passes, span)
+	if err != nil {
+		return fleetRun{}, err
+	}
+	pool.Drain()
+	elapsed := time.Since(start)
+	fr.ElapsedSec = elapsed.Seconds()
+	fr.ReadingsPerSec = float64(fr.Readings) / elapsed.Seconds()
+
+	reg := obs.NewRegistry()
+	pool, err = fleet.New(fleet.Config{
+		Shards: shards,
+		Seed:   seed,
+		NewDetector: func(seeds []vecmat.Vector) (*core.Detector, error) {
+			ccfg := core.DefaultConfig(seeds)
+			ccfg.Window = time.Hour
+			ccfg.Observer = &obs.Observer{Metrics: reg}
+			return core.NewDetector(ccfg)
+		},
+	})
+	if err != nil {
+		return fleetRun{}, err
+	}
+	if _, err := submitPasses(pool, decoded, max(passes/4, 1), span); err != nil {
+		return fleetRun{}, err
+	}
+	pool.Drain()
+	snap := reg.Histogram("sensorguard_step_seconds", "", obs.LatencyBuckets()).Snapshot()
+	fr.Windows = snap.Count
+	fr.WindowP50us = quantile(snap, 0.50) * 1e6
+	fr.WindowP99us = quantile(snap, 0.99) * 1e6
+	return fr, nil
+}
+
+// submitPasses replays the decoded trace passes times, each pass shifted
+// forward by span so event time always advances and windows keep closing.
+func submitPasses(pool *fleet.Pool, decoded []ingest.Reading, passes int, span time.Duration) (int, error) {
+	submitted := 0
+	for pass := 0; pass < passes; pass++ {
+		shift := time.Duration(pass) * span
+		for _, r := range decoded {
+			r.Reading.Time += shift
+			if err := pool.Submit(r); err != nil {
+				return submitted, err
+			}
+			submitted++
+		}
+	}
+	return submitted, nil
+}
+
+// quantile estimates the q-quantile of a bucketed histogram by linear
+// interpolation inside the bucket holding the target rank (the
+// histogram_quantile estimator). Samples in the +Inf bucket clamp to the
+// highest finite bound.
+func quantile(s obs.HistogramSnapshot, q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, c := range s.Counts {
+		seen += float64(c)
+		if seen < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - (seen - float64(c))) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// measureBareStep builds one detector the way the paper's evaluation does
+// (k-means over the first day) and measures Step alone on pre-built windows:
+// steady-state allocations per call and mean latency. This is the number the
+// zero-alloc regression test pins at 0.
+func measureBareStep(tr gdi.Trace, seed int64) (bareStepStat, error) {
+	var points []vecmat.Vector
+	for _, r := range tr.Readings {
+		if r.Time < 24*time.Hour {
+			points = append(points, r.Values)
+		}
+	}
+	seeds, err := cluster.KMeans(points, 6, rand.New(rand.NewSource(seed)), 100)
+	if err != nil {
+		return bareStepStat{}, err
+	}
+	ccfg := core.DefaultConfig(seeds)
+	ccfg.Window = time.Hour
+	det, err := core.NewDetector(ccfg)
+	if err != nil {
+		return bareStepStat{}, err
+	}
+	wins, err := network.WindowAll(tr.Readings, time.Hour)
+	if err != nil {
+		return bareStepStat{}, err
+	}
+	next := 0
+	step := func() error {
+		w := wins[next%len(wins)]
+		w.Index = next
+		next++
+		_, err := det.Step(w)
+		return err
+	}
+	// Warm-up: one full replay lets scratch buffers, tracks, and model
+	// states reach steady state before anything is counted.
+	for range wins {
+		if err := step(); err != nil {
+			return bareStepStat{}, err
+		}
+	}
+	var stat bareStepStat
+	var stepErr error
+	stat.AllocsPerOp = testing.AllocsPerRun(400, func() {
+		if err := step(); err != nil && stepErr == nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		return bareStepStat{}, stepErr
+	}
+	const timedOps = 2000
+	start := time.Now()
+	for i := 0; i < timedOps; i++ {
+		if err := step(); err != nil {
+			return bareStepStat{}, err
+		}
+	}
+	stat.NsPerOp = float64(time.Since(start).Nanoseconds()) / timedOps
+	return stat, nil
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad shard count %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-shards is empty")
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func writeReport(rep report, path string, stdout io.Writer) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sensorguard/internal/obs"
+)
+
+// TestRunEmitsReport drives the harness end to end at the smallest workload
+// and checks the report is well-formed: every configured shard count
+// present, throughput and latency populated, and the bare step at its pinned
+// zero allocations.
+func TestRunEmitsReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-days", "1", "-passes", "2", "-shards", "2", "-out", out}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Fleet) != 1 || rep.Fleet[0].Shards != 2 {
+		t.Fatalf("fleet runs = %+v, want one run at shards=2", rep.Fleet)
+	}
+	fr := rep.Fleet[0]
+	if fr.ReadingsPerSec <= 0 || fr.Readings == 0 {
+		t.Errorf("throughput not measured: %+v", fr)
+	}
+	if fr.Windows == 0 || fr.WindowP99us < fr.WindowP50us {
+		t.Errorf("window latency not measured: %+v", fr)
+	}
+	if rep.Decode.NsPerLine <= 0 {
+		t.Errorf("decode not measured: %+v", rep.Decode)
+	}
+	if rep.BareStep.AllocsPerOp != 0 {
+		t.Errorf("bare detector step allocates %v per op, want 0", rep.BareStep.AllocsPerOp)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-days", "0"},
+		{"-passes", "0"},
+		{"-shards", "0"},
+		{"-shards", "four"},
+	} {
+		var errBuf bytes.Buffer
+		if err := run(args, io.Discard, &errBuf); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}
+
+// TestQuantile pins the interpolation against a hand-built histogram.
+func TestQuantile(t *testing.T) {
+	s := obs.HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{0, 100, 0, 0}, // all samples in (1, 2]
+		Count:  100,
+	}
+	if q := quantile(s, 0.5); q < 1 || q > 2 {
+		t.Errorf("p50 = %v, want within (1, 2]", q)
+	}
+	// Samples beyond the last bound clamp to it.
+	s = obs.HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{0, 0, 0, 10},
+		Count:  10,
+	}
+	if q := quantile(s, 0.99); q != 4 {
+		t.Errorf("p99 of +Inf bucket = %v, want clamp to 4", q)
+	}
+	if q := quantile(obs.HistogramSnapshot{}, 0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}

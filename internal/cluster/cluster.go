@@ -12,6 +12,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"sensorguard/internal/vecmat"
@@ -116,6 +117,13 @@ type Set struct {
 	pending []pendingSpawn
 	spawned int
 	merged  int
+
+	// Adapt scratch, reused across windows so the steady-state per-window
+	// update allocates nothing: per-state accumulation buffers (indexed like
+	// states) and the spawn-candidate slice.
+	scratchSums   []vecmat.Vector
+	scratchCounts []int
+	scratchCand   []vecmat.Vector
 }
 
 // pendingSpawn is a far observation waiting for confirmation: a new state
@@ -178,38 +186,103 @@ func (s *Set) ByID(id int) (State, bool) {
 	return State{}, false
 }
 
-// Nearest returns the ID of the state closest to p and the distance to it
-// (Eqs. 2 and 3). It returns an error when the set is empty or p has the
-// wrong dimension.
+// Nearest returns the ID of the state closest to p and the Euclidean
+// distance to it (Eqs. 2 and 3). It returns an error when the set is empty
+// or p has the wrong dimension; on error the returned id is -1, which is
+// never a valid state ID — callers that read the id before checking the
+// error cannot mistake it for the first seeded state (ID 0).
+//
+// The dimension and emptiness checks run once per call; the per-state loop
+// compares squared distances and takes a single square root at the end.
 func (s *Set) Nearest(p vecmat.Vector) (id int, dist float64, err error) {
+	if err := s.check(p); err != nil {
+		return -1, 0, err
+	}
+	best, d2 := s.nearestSq(p)
+	return s.states[best].ID, math.Sqrt(d2), nil
+}
+
+// check validates the emptiness and dimension preconditions of the
+// nearest-state queries once, so the inner loops can run unchecked.
+func (s *Set) check(p vecmat.Vector) error {
 	if len(s.states) == 0 {
-		return 0, 0, errors.New("cluster: empty state set")
+		return errors.New("cluster: empty state set")
 	}
-	best, bestDist := -1, 0.0
+	if len(p) != s.dim {
+		return fmt.Errorf("cluster: query %d-vector against %d-dimensional states: %w",
+			len(p), s.dim, vecmat.ErrDimensionMismatch)
+	}
+	return nil
+}
+
+// nearestSq returns the index (not ID) of the state closest to p and the
+// squared distance to it. Preconditions (non-empty set, matching dimension)
+// must have been checked by the caller.
+func (s *Set) nearestSq(p vecmat.Vector) (idx int, d2 float64) {
+	best, bestD2 := 0, sqDist(s.states[0].Centroid, p)
+	for i := 1; i < len(s.states); i++ {
+		if d := sqDist(s.states[i].Centroid, p); d < bestD2 {
+			best, bestD2 = i, d
+		}
+	}
+	return best, bestD2
+}
+
+// sqDist is the unchecked squared Euclidean distance between two vectors of
+// equal length (the Set invariant guarantees centroids match s.dim). The
+// two-attribute case is unrolled: GDI-style deployments sense (temperature,
+// humidity), and this sits innermost in every per-observation nearest-state
+// scan.
+func sqDist(a, b vecmat.Vector) float64 {
+	if len(a) == 2 && len(b) == 2 {
+		dx := a[0] - b[0]
+		dy := a[1] - b[1]
+		return dx*dx + dy*dy
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// DistanceTo returns the Euclidean distance from state id's centroid to p,
+// without copying the centroid. It reports false when the state does not
+// exist or p has the wrong dimension.
+func (s *Set) DistanceTo(id int, p vecmat.Vector) (float64, bool) {
+	if len(p) != s.dim {
+		return 0, false
+	}
 	for i := range s.states {
-		d, derr := s.states[i].Centroid.Distance(p)
-		if derr != nil {
-			return 0, 0, derr
-		}
-		if best == -1 || d < bestDist {
-			best, bestDist = i, d
+		if s.states[i].ID == id {
+			return math.Sqrt(sqDist(s.states[i].Centroid, p)), true
 		}
 	}
-	return s.states[best].ID, bestDist, nil
+	return 0, false
 }
 
 // Assign maps each observation to its nearest state (Eq. 3), returning one
-// state ID per observation.
+// state ID per observation. On error the returned slice is nil.
 func (s *Set) Assign(points []vecmat.Vector) ([]int, error) {
-	out := make([]int, len(points))
-	for i, p := range points {
-		id, _, err := s.Nearest(p)
-		if err != nil {
+	return s.AssignTo(points, nil)
+}
+
+// AssignTo is Assign writing into dst (grown as needed), so steady-state
+// callers can reuse one buffer across windows. It returns dst resliced to
+// len(points); on error the result is nil.
+func (s *Set) AssignTo(points []vecmat.Vector, dst []int) ([]int, error) {
+	for _, p := range points {
+		if err := s.check(p); err != nil {
 			return nil, err
 		}
-		out[i] = id
 	}
-	return out, nil
+	dst = dst[:0]
+	for _, p := range points {
+		idx, _ := s.nearestSq(p)
+		dst = append(dst, s.states[idx].ID)
+	}
+	return dst, nil
 }
 
 // Adapt performs the end-of-window update. Spawn checks run first, against
@@ -223,6 +296,19 @@ func (s *Set) Assign(points []vecmat.Vector) ([]int, error) {
 func (s *Set) Adapt(points []vecmat.Vector, meanPoint vecmat.Vector) ([]Event, error) {
 	var events []Event
 
+	// Preconditions once, up front: the spawn and accumulation loops below
+	// run unchecked squared-distance queries.
+	for _, p := range points {
+		if err := s.check(p); err != nil {
+			return nil, err
+		}
+	}
+	if meanPoint != nil {
+		if err := s.check(meanPoint); err != nil {
+			return nil, err
+		}
+	}
+
 	// Spawn pass: a far point spawns a state only when it confirms a
 	// pending far point from an earlier window; otherwise it becomes
 	// pending itself. Later far points in the same window see earlier
@@ -231,17 +317,15 @@ func (s *Set) Adapt(points []vecmat.Vector, meanPoint vecmat.Vector) ([]Event, e
 	s.adapts++
 	candidates := points
 	if meanPoint != nil {
-		candidates = append(append(make([]vecmat.Vector, 0, len(points)+1), points...), meanPoint)
+		s.scratchCand = append(append(s.scratchCand[:0], points...), meanPoint)
+		candidates = s.scratchCand
 	}
+	spawnSq := s.cfg.SpawnDistance * s.cfg.SpawnDistance
 	for _, p := range candidates {
 		if s.cfg.MaxStates > 0 && len(s.states) >= s.cfg.MaxStates {
 			break
 		}
-		_, d, err := s.Nearest(p)
-		if err != nil {
-			return nil, err
-		}
-		if d <= s.cfg.SpawnDistance {
+		if _, d2 := s.nearestSq(p); d2 <= spawnSq {
 			continue
 		}
 		if i := s.confirmPending(p); i >= 0 {
@@ -260,38 +344,48 @@ func (s *Set) Adapt(points []vecmat.Vector, meanPoint vecmat.Vector) ([]Event, e
 
 	// Eq. (5): group observations per (post-spawn) state; Eq. (6): EWMA
 	// update. Points outside the capture annulus are ambiguous and do
-	// not contribute.
+	// not contribute. Accumulation goes into per-state scratch buffers
+	// (indexed like s.states) reused across windows.
 	capture := s.cfg.CaptureDistance
 	if capture == 0 {
 		capture = s.cfg.SpawnDistance
 	}
-	sums := make(map[int]vecmat.Vector, len(s.states))
-	counts := make(map[int]int, len(s.states))
-	for _, p := range points {
-		id, dist, err := s.Nearest(p)
-		if err != nil {
-			return nil, err
+	captureSq := capture * capture
+	for len(s.scratchSums) < len(s.states) {
+		s.scratchSums = append(s.scratchSums, vecmat.NewVector(s.dim))
+	}
+	if cap(s.scratchCounts) < len(s.states) {
+		s.scratchCounts = make([]int, len(s.states))
+	}
+	s.scratchCounts = s.scratchCounts[:len(s.states)]
+	for i := 0; i < len(s.states); i++ {
+		s.scratchCounts[i] = 0
+		sum := s.scratchSums[i]
+		for d := range sum {
+			sum[d] = 0
 		}
-		if dist > capture {
+	}
+	for _, p := range points {
+		idx, d2 := s.nearestSq(p)
+		if d2 > captureSq {
 			continue
 		}
-		if sums[id] == nil {
-			sums[id] = vecmat.NewVector(s.dim)
+		sum := s.scratchSums[idx]
+		for d := 0; d < s.dim; d++ {
+			sum[d] += p[d]
 		}
-		if err := sums[id].AddInPlace(p); err != nil {
-			return nil, err
-		}
-		counts[id]++
+		s.scratchCounts[idx]++
 	}
 	for i := range s.states {
 		st := &s.states[i]
-		n := counts[st.ID]
+		n := s.scratchCounts[i]
 		if n == 0 {
 			continue
 		}
-		mean := sums[st.ID].Scale(1 / float64(n))
+		inv := 1 / float64(n)
 		for d := 0; d < s.dim; d++ {
-			st.Centroid[d] = (1-s.cfg.Alpha)*st.Centroid[d] + s.cfg.Alpha*mean[d]
+			mean := s.scratchSums[i][d] * inv
+			st.Centroid[d] = (1-s.cfg.Alpha)*st.Centroid[d] + s.cfg.Alpha*mean
 		}
 		st.Weight += float64(n)
 	}
@@ -343,12 +437,12 @@ func (s *Set) spawn(p vecmat.Vector) int {
 
 func (s *Set) mergeClose() []Event {
 	var events []Event
+	mergeSq := s.cfg.MergeDistance * s.cfg.MergeDistance
 	for {
 		merged := false
 		for i := 0; i < len(s.states) && !merged; i++ {
 			for j := i + 1; j < len(s.states) && !merged; j++ {
-				d, err := s.states[i].Centroid.Distance(s.states[j].Centroid)
-				if err != nil || d > s.cfg.MergeDistance {
+				if sqDist(s.states[i].Centroid, s.states[j].Centroid) > mergeSq {
 					continue
 				}
 				into, from := i, j

@@ -78,8 +78,25 @@ func TestNearestAndAssign(t *testing.T) {
 
 func TestNearestEmptySetErrors(t *testing.T) {
 	s := mustNew(t, testConfig(), 2, nil)
-	if _, _, err := s.Nearest(vecmat.Vector{0, 0}); err == nil {
+	id, _, err := s.Nearest(vecmat.Vector{0, 0})
+	if err == nil {
 		t.Error("Nearest on empty set succeeded")
+	}
+	// Contract: every error path returns id -1, never a plausible state id.
+	// Callers that check the id before the error would otherwise read state 0.
+	if id != -1 {
+		t.Errorf("Nearest on empty set returned id %d, want -1", id)
+	}
+}
+
+func TestNearestDimensionMismatchErrors(t *testing.T) {
+	s := mustNew(t, testConfig(), 2, []vecmat.Vector{{0, 0}})
+	id, _, err := s.Nearest(vecmat.Vector{1, 2, 3})
+	if err == nil {
+		t.Error("Nearest with mismatched dimension succeeded")
+	}
+	if id != -1 {
+		t.Errorf("Nearest with mismatched dimension returned id %d, want -1", id)
 	}
 }
 

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"sensorguard/internal/network"
+)
+
+// TestStepZeroAllocSteadyState pins the hot-path contract: once the
+// detector's scratch space has grown to the window's working-set size, the
+// bare (uninstrumented) Step allocates nothing. A regression here silently
+// re-taxes every window of every deployment, so it fails loudly instead.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	d, err := NewDetector(DefaultConfig(keyStates()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := keyStates()
+	wins := make([]network.Window, 4)
+	for i := range wins {
+		wins[i] = uniformWindow(i, 10, points[i])
+	}
+	idx := 0
+	step := func() {
+		w := wins[idx%4]
+		w.Index = idx
+		if _, err := d.Step(w); err != nil {
+			t.Fatal(err)
+		}
+		idx++
+	}
+	// Warm up: grow scratch buffers, visit every key state, let the
+	// cluster set settle.
+	for i := 0; i < 128; i++ {
+		step()
+	}
+	if got := testing.AllocsPerRun(500, step); got != 0 {
+		t.Fatalf("steady-state Step allocates %v times per window, want 0", got)
+	}
+}
+
+// TestStepResultCloneIndependent pins that Clone detaches a result from the
+// detector's scratch space: stepping again must not mutate the clone.
+func TestStepResultCloneIndependent(t *testing.T) {
+	d, err := NewDetector(DefaultConfig(keyStates()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := keyStates()
+	res, err := d.Step(uniformWindow(0, 10, points[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	borrowed := res.Sensors
+	clone := res.Clone()
+	want := make(map[int]SensorStep, len(clone.Sensors))
+	for id, s := range clone.Sensors {
+		want[id] = s
+	}
+	// Step a window with a different sensor population; the borrowed map
+	// is rewritten in place, the clone must not move.
+	if _, err := d.Step(uniformWindow(1, 4, points[1])); err != nil {
+		t.Fatal(err)
+	}
+	if len(borrowed) == len(want) {
+		t.Fatalf("test is vacuous: borrowed map unchanged (len %d)", len(borrowed))
+	}
+	if len(clone.Sensors) != len(want) {
+		t.Fatalf("clone mutated by later Step: len %d, want %d", len(clone.Sensors), len(want))
+	}
+	for id, s := range want {
+		if clone.Sensors[id] != s {
+			t.Fatalf("clone entry %d mutated: %+v != %+v", id, clone.Sensors[id], s)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"sensorguard/internal/network"
 	"sensorguard/internal/obs"
 	"sensorguard/internal/vecmat"
 )
@@ -10,15 +11,30 @@ import (
 // BenchmarkStep measures single-window pipeline latency — the quantity that
 // determines how large a deployment one collector can serve. One window of
 // 10 sensors × 12 samples.
+
+// benchWindows prebuilds one window per key state so the timed loops below
+// measure Step alone, not fixture construction. Callers stamp the real
+// ordinal onto a copy of the ring entry (a stack copy, no allocation).
+func benchWindows(n int) []network.Window {
+	points := keyStates()
+	wins := make([]network.Window, len(points))
+	for i := range wins {
+		wins[i] = uniformWindow(i, n, points[i])
+	}
+	return wins
+}
+
 func BenchmarkStep(b *testing.B) {
 	d, err := NewDetector(DefaultConfig(keyStates()))
 	if err != nil {
 		b.Fatal(err)
 	}
-	points := keyStates()
+	wins := benchWindows(10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w := uniformWindow(i, 10, points[i%4])
+		w := wins[i%4]
+		w.Index = i
 		if _, err := d.Step(w); err != nil {
 			b.Fatal(err)
 		}
@@ -36,10 +52,12 @@ func BenchmarkStepInstrumented(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	points := keyStates()
+	wins := benchWindows(10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w := uniformWindow(i, 10, points[i%4])
+		w := wins[i%4]
+		w.Index = i
 		if _, err := d.Step(w); err != nil {
 			b.Fatal(err)
 		}
@@ -53,14 +71,25 @@ func BenchmarkStepWithTrackedSensor(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	outlier := make([][]vecmat.Vector, 4)
+	for v := range outlier {
 		bySensor := make([]vecmat.Vector, 10)
 		for s := 0; s < 9; s++ {
-			bySensor[s] = keyStates()[i%4]
+			bySensor[s] = keyStates()[v]
 		}
 		bySensor[9] = vecmat.Vector{45, 20}
-		if _, err := d.Step(window(i, bySensor)); err != nil {
+		outlier[v] = bySensor
+	}
+	wins := make([]network.Window, 4)
+	for v := range wins {
+		wins[v] = window(v, outlier[v])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := wins[i%4]
+		w.Index = i
+		if _, err := d.Step(w); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -77,10 +106,12 @@ func BenchmarkStepTraced(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	points := keyStates()
+	wins := benchWindows(10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w := uniformWindow(i, 10, points[i%4])
+		w := wins[i%4]
+		w.Index = i
 		w.Trace = obs.NewRootContext()
 		if _, err := d.Step(w); err != nil {
 			b.Fatal(err)
@@ -98,10 +129,12 @@ func BenchmarkStepTracerIdle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	points := keyStates()
+	wins := benchWindows(10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w := uniformWindow(i, 10, points[i%4])
+		w := wins[i%4]
+		w.Index = i
 		if _, err := d.Step(w); err != nil {
 			b.Fatal(err)
 		}
@@ -118,10 +151,12 @@ func BenchmarkStepWithDecisions(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	points := keyStates()
+	wins := benchWindows(10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w := uniformWindow(i, 10, points[i%4])
+		w := wins[i%4]
+		w.Index = i
 		if _, err := d.Step(w); err != nil {
 			b.Fatal(err)
 		}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -54,8 +56,29 @@ type Detector struct {
 	// ratio/difference test runs on.
 	profiles map[int]map[int][]runstats.Running
 
+	// scratch holds the per-window working set, reused across Steps so the
+	// bare (uninstrumented) hot path allocates nothing in steady state.
+	scratch stepScratch
+
 	steps   int
 	skipped int
+}
+
+// stepScratch is the detector's reusable per-window working set. Every slice
+// and map here is cleared (not reallocated) at the start of each step; the
+// returned StepResult borrows the sensors map, which is why Step's result is
+// only valid until the next call (see StepResult).
+type stepScratch struct {
+	slot    map[int]int       // sensor ID → accumulation slot
+	ids     []int             // sensor IDs, sorted ascending after grouping
+	sums    []vecmat.Vector   // per-slot sum, then mean, of the window's readings
+	counts  []int             // per-slot reading count
+	points  []vecmat.Vector   // per-sensor means in ids order (aliases sums rows)
+	values  []vecmat.Vector   // non-quarantined raw readings for Eq. (2)
+	mapped  []int             // Eq. (3) assignment output
+	overall vecmat.Vector     // Eq. (2) network mean
+	states  map[int]int       // majority vote tally
+	sensors map[int]SensorStep // StepResult.Sensors backing store
 }
 
 // SensorStep is the per-sensor outcome of one window.
@@ -74,6 +97,13 @@ type SensorStep struct {
 }
 
 // StepResult is the outcome of one observation window.
+//
+// The Sensors map is borrowed from the detector's reusable scratch space: it
+// is valid until the next call to Step on the same detector, which clears and
+// refills it in place. Callers that retain results across windows (slices of
+// step outcomes, test fixtures) must take a Clone first; callers that consume
+// the result before stepping again (the streaming fleet, metric sinks) read
+// it for free.
 type StepResult struct {
 	// Index is the window ordinal.
 	Index int
@@ -82,10 +112,27 @@ type StepResult struct {
 	Skipped bool
 	// Observable and Correct are o_i and c_i (model-state IDs).
 	Observable, Correct int
-	// Sensors holds the per-sensor outcomes, keyed by sensor ID.
+	// Sensors holds the per-sensor outcomes, keyed by sensor ID. Borrowed:
+	// valid until the next Step.
 	Sensors map[int]SensorStep
 	// Events are the structural model-state changes after this window.
 	Events []cluster.Event
+}
+
+// Clone returns an independent deep copy of the result, safe to retain after
+// the next Step.
+func (r StepResult) Clone() StepResult {
+	out := r
+	if r.Sensors != nil {
+		out.Sensors = make(map[int]SensorStep, len(r.Sensors))
+		for id, s := range r.Sensors {
+			out.Sensors[id] = s
+		}
+	}
+	if r.Events != nil {
+		out.Events = append([]cluster.Event(nil), r.Events...)
+	}
+	return out
 }
 
 // NewDetector builds a detector from the configuration.
@@ -218,7 +265,13 @@ func (d *Detector) emitSpans(w network.Window, ev *obs.Event) {
 // configured; when set, step records per-stage latencies and per-window
 // counts into it.
 func (d *Detector) step(w network.Window, ev *obs.Event) (StepResult, error) {
-	res := StepResult{Index: w.Index, Sensors: make(map[int]SensorStep)}
+	sc := &d.scratch
+	if sc.sensors == nil {
+		sc.sensors = make(map[int]SensorStep)
+	} else {
+		clear(sc.sensors)
+	}
+	res := StepResult{Index: w.Index, Sensors: sc.sensors}
 
 	// Per-sensor window means are the observations p_j of Eq. (2)-(4).
 	// Stage timing takes cumulative monotonic marks against d.epoch
@@ -262,19 +315,19 @@ func (d *Detector) step(w network.Window, ev *obs.Event) (StepResult, error) {
 	// proportional to the traffic it actually delivers (a dying, thinning
 	// sensor fades from the network view). Quarantined sensors — already
 	// diagnosed as erroneous — are excluded from the network view.
-	values := make([]vecmat.Vector, 0, len(w.Readings))
+	sc.values = sc.values[:0]
 	for _, r := range w.Readings {
 		if d.quarantined[r.Sensor] {
 			continue
 		}
-		values = append(values, r.Values)
+		sc.values = append(sc.values, r.Values)
 	}
-	if len(values) == 0 {
+	if len(sc.values) == 0 {
 		for _, r := range w.Readings {
-			values = append(values, r.Values)
+			sc.values = append(sc.values, r.Values)
 		}
 	}
-	overall, err := vecmat.Mean(values)
+	overall, err := d.meanInto(sc.values)
 	if err != nil {
 		return res, err
 	}
@@ -282,11 +335,12 @@ func (d *Detector) step(w network.Window, ev *obs.Event) (StepResult, error) {
 	if err != nil {
 		return res, err
 	}
-	mapped, err := d.states.Assign(points) // Eq. (3)
+	sc.mapped, err = d.states.AssignTo(points, sc.mapped) // Eq. (3)
 	if err != nil {
 		return res, err
 	}
-	correct := majorityState(mapped) // Eq. (4)
+	mapped := sc.mapped
+	correct := d.majorityState(mapped) // Eq. (4)
 
 	// Boundary deadband: when the overall mean sits essentially at a tie
 	// between the correct state and another, Eq. (2)'s argmin is decided
@@ -295,10 +349,8 @@ func (d *Detector) step(w network.Window, ev *obs.Event) (StepResult, error) {
 	// fabricate anomaly structure in M_CO (genuine attacks displace the
 	// mean far beyond the deadband).
 	if observable != correct && d.cfg.SnapDeadband > 0 {
-		if cState, ok := d.states.ByID(correct); ok {
-			if dc, derr := cState.Centroid.Distance(overall); derr == nil && dc-distO < d.cfg.SnapDeadband {
-				observable = correct
-			}
+		if dc, ok := d.states.DistanceTo(correct, overall); ok && dc-distO < d.cfg.SnapDeadband {
+			observable = correct
 		}
 	}
 
@@ -395,6 +447,14 @@ func (d *Detector) step(w network.Window, ev *obs.Event) (StepResult, error) {
 // closing track lifts the quarantine automatically.
 func (d *Detector) refreshQuarantine(window int) {
 	if d.cfg.QuarantineAfter <= 0 {
+		return
+	}
+	// Steady-state early-out: with no open tracks there is nothing to
+	// diagnose and nothing to quarantine — skip the map churn entirely.
+	if d.tracks.OpenCount() == 0 {
+		if len(d.quarantined) > 0 {
+			clear(d.quarantined)
+		}
 		return
 	}
 	kinds := make(map[int]classify.Kind)
@@ -572,44 +632,100 @@ func containsInt(xs []int, x int) bool {
 }
 
 // sensorMeans groups the window's readings by sensor and returns the sensor
-// IDs (ascending) with their mean observation vectors.
+// IDs (ascending) with their mean observation vectors. Both returned slices
+// are backed by the detector's scratch space and are valid until the next
+// step.
 func (d *Detector) sensorMeans(readings []sensor.Reading) ([]int, []vecmat.Vector, error) {
-	sums := make(map[int]vecmat.Vector)
-	counts := make(map[int]int)
+	sc := &d.scratch
+	if sc.slot == nil {
+		sc.slot = make(map[int]int)
+	} else {
+		clear(sc.slot)
+	}
+	sc.ids = sc.ids[:0]
+	sc.counts = sc.counts[:0]
 	for _, r := range readings {
 		if len(r.Values) != d.cfg.Dim {
 			return nil, nil, fmt.Errorf("core: reading from sensor %d has dimension %d, want %d",
 				r.Sensor, len(r.Values), d.cfg.Dim)
 		}
-		if sums[r.Sensor] == nil {
-			sums[r.Sensor] = vecmat.NewVector(d.cfg.Dim)
+		i, ok := sc.slot[r.Sensor]
+		if !ok {
+			i = len(sc.ids)
+			sc.slot[r.Sensor] = i
+			if i == len(sc.sums) {
+				sc.sums = append(sc.sums, vecmat.NewVector(d.cfg.Dim))
+			}
+			sum := sc.sums[i]
+			for k := range sum {
+				sum[k] = 0
+			}
+			sc.ids = append(sc.ids, r.Sensor)
+			sc.counts = append(sc.counts, 0)
 		}
-		if err := sums[r.Sensor].AddInPlace(r.Values); err != nil {
+		if err := sc.sums[i].AddInPlace(r.Values); err != nil {
 			return nil, nil, err
 		}
-		counts[r.Sensor]++
+		sc.counts[i]++
 	}
-	ids := make([]int, 0, len(sums))
-	for id := range sums {
-		ids = append(ids, id)
+	// Sort IDs ascending; slot still maps each ID to its accumulation row,
+	// so the points slice is rebuilt in sorted order from the (unsorted)
+	// sum rows, scaling each row into a mean in place.
+	slices.Sort(sc.ids)
+	sc.points = sc.points[:0]
+	for _, id := range sc.ids {
+		i := sc.slot[id]
+		sum := sc.sums[i]
+		inv := 1 / float64(sc.counts[i])
+		for k := range sum {
+			sum[k] *= inv
+		}
+		sc.points = append(sc.points, sum)
 	}
-	sort.Ints(ids)
-	points := make([]vecmat.Vector, len(ids))
-	for i, id := range ids {
-		points[i] = sums[id].Scale(1 / float64(counts[id]))
+	return sc.ids, sc.points, nil
+}
+
+// meanInto computes the component-wise mean of vs into the scratch overall
+// vector (Eq. (2)'s network view) without allocating.
+func (d *Detector) meanInto(vs []vecmat.Vector) (vecmat.Vector, error) {
+	sc := &d.scratch
+	if len(sc.overall) != d.cfg.Dim {
+		sc.overall = vecmat.NewVector(d.cfg.Dim)
 	}
-	return ids, points, nil
+	out := sc.overall
+	for k := range out {
+		out[k] = 0
+	}
+	if len(vs) == 0 {
+		return nil, errors.New("core: mean of zero observations")
+	}
+	for _, v := range vs {
+		if err := out.AddInPlace(v); err != nil {
+			return nil, err
+		}
+	}
+	inv := 1 / float64(len(vs))
+	for k := range out {
+		out[k] *= inv
+	}
+	return out, nil
 }
 
 // majorityState returns the state ID backing the largest group of mapped
-// observations (ties break toward the smaller ID for determinism).
-func majorityState(mapped []int) int {
-	counts := make(map[int]int, len(mapped))
+// observations (ties break toward the smaller ID for determinism). The tally
+// map is scratch, reused across windows.
+func (d *Detector) majorityState(mapped []int) int {
+	sc := &d.scratch
+	if sc.states == nil {
+		sc.states = make(map[int]int)
+	} else {
+		clear(sc.states)
+	}
 	for _, id := range mapped {
-		counts[id]++
+		sc.states[id]++
 	}
 	best, bestCount := 0, -1
-	for id, c := range counts {
+	for id, c := range sc.states {
 		if c > bestCount || (c == bestCount && id < best) {
 			best, bestCount = id, c
 		}

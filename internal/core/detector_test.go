@@ -255,11 +255,12 @@ func TestReportRequiresSteps(t *testing.T) {
 }
 
 func TestMajorityState(t *testing.T) {
-	if got := majorityState([]int{1, 1, 2}); got != 1 {
+	d := mustDetector(t)
+	if got := d.majorityState([]int{1, 1, 2}); got != 1 {
 		t.Errorf("majority = %d, want 1", got)
 	}
 	// Tie breaks to the smaller ID.
-	if got := majorityState([]int{2, 2, 1, 1}); got != 1 {
+	if got := d.majorityState([]int{2, 2, 1, 1}); got != 1 {
 		t.Errorf("tie majority = %d, want 1", got)
 	}
 }

@@ -117,7 +117,9 @@ func (d *Detector) ProcessTrace(readings []sensor.Reading) ([]StepResult, error)
 		if err != nil {
 			return out, fmt.Errorf("window %d: %w", w.Index, err)
 		}
-		out = append(out, res)
+		// Step's result borrows the detector's scratch space; the trace
+		// retains every window, so take an independent copy.
+		out = append(out, res.Clone())
 	}
 	return out, nil
 }

@@ -63,7 +63,7 @@ func stepAll(t *testing.T, d *Detector, ws []network.Window) []StepResult {
 		if err != nil {
 			t.Fatalf("step %d: %v", w.Index, err)
 		}
-		out = append(out, res)
+		out = append(out, res.Clone())
 	}
 	return out
 }

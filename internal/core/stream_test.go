@@ -125,7 +125,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			streamSteps = append(streamSteps, res)
+			streamSteps = append(streamSteps, res.Clone())
 		}
 	}
 	if last := wd.Flush(); last != nil {
@@ -133,7 +133,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		streamSteps = append(streamSteps, res)
+		streamSteps = append(streamSteps, res.Clone())
 	}
 
 	if len(batchSteps) != len(streamSteps) {

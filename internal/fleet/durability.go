@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -44,11 +45,101 @@ type Durability struct {
 // checkpoints), serialised by mu; the worker never blocks while holding it,
 // and Submit's queue send happens outside it with a slot already reserved,
 // so neither side can deadlock the other.
+//
+// Appends group-commit: each committer stages its framed record into the
+// pending batch under mu, and the first arriver becomes the batch leader —
+// it drops the lock, writes every staged frame in one syscall, and wakes the
+// followers. N concurrently-submitted readings therefore share one write
+// instead of paying one syscall each; a lone committer degenerates to the
+// old one-write-per-entry behaviour.
 type durableShard struct {
 	dir     string
 	mu      sync.Mutex
+	idle    *sync.Cond // broadcast when flushing drops to false; rotation waits on it
 	journal *journalWriter
 	nextSeq uint64
+
+	pending  *journalBatch // frames staged for the next flush (nil when none)
+	spare    []byte        // recycled batch buffer
+	flushing bool          // a leader is writing outside the lock
+}
+
+// journalBatch is one group-committed set of frames. done closes when the
+// batch is on disk (or failed); err is valid after done.
+type journalBatch struct {
+	buf  []byte
+	done chan struct{}
+	err  error
+}
+
+// commit sequences, frames, and durably stages one reading, returning its
+// journal sequence. It blocks until the batch containing the record has been
+// written. Frames are staged in sequence order because marshalling happens
+// under mu — only the write syscall itself is batched and lock-free.
+func (ds *durableShard) commit(e journalEntry) (uint64, error) {
+	ds.mu.Lock()
+	ds.nextSeq++
+	e.Seq = ds.nextSeq
+	payload, err := json.Marshal(e)
+	if err != nil {
+		// The sequence was never staged; roll it back so the journal
+		// stays gap-free (mu has been held throughout).
+		ds.nextSeq--
+		ds.mu.Unlock()
+		return 0, err
+	}
+	if ds.pending == nil {
+		ds.pending = &journalBatch{buf: ds.spare, done: make(chan struct{})}
+		ds.spare = nil
+	}
+	b := ds.pending
+	b.buf = appendRecord(b.buf, payload)
+	if !ds.flushing {
+		// Leader: write batches until none are staged. Followers that
+		// arrive while the write syscall is in flight stage the next
+		// batch; the loop picks it up.
+		ds.flushing = true
+		for ds.pending != nil {
+			batch := ds.pending
+			ds.pending = nil
+			w := ds.journal
+			ds.mu.Unlock()
+			werr := w.write(batch.buf)
+			ds.mu.Lock()
+			batch.err = werr
+			if cap(batch.buf) > cap(ds.spare) {
+				ds.spare = batch.buf[:0]
+			}
+			close(batch.done)
+		}
+		ds.flushing = false
+		ds.idle.Broadcast()
+		ds.mu.Unlock()
+	} else {
+		ds.mu.Unlock()
+		<-b.done
+	}
+	return e.Seq, b.err
+}
+
+// rotate swaps in a fresh journal segment based at nextSeq, waiting out any
+// in-flight flush first: while no leader is writing, no frames are staged
+// (the leader drains the pending batch before going idle), so every journaled
+// sequence is on disk in the old segment and below the new base.
+func (ds *durableShard) rotate(shard, shards int) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	for ds.flushing {
+		ds.idle.Wait()
+	}
+	jw, err := openJournal(ds.dir, shard, shards, ds.nextSeq)
+	if err != nil {
+		return err // keep appending to the old segment; replay still works
+	}
+	old := ds.journal
+	ds.journal = jw
+	old.close()
+	return nil
 }
 
 // deployment lifecycle states surfaced through Status.State.
@@ -72,6 +163,7 @@ func (s *shard) initDurability() error {
 		return err
 	}
 	s.dur = &durableShard{dir: dir}
+	s.dur.idle = sync.NewCond(&s.dur.mu)
 	if cfg.Recover {
 		return s.recoverState()
 	}
@@ -245,9 +337,11 @@ func (s *shard) restoreDeployment(rec deploymentCheckpoint) (*deployment, error)
 		}
 		d.decisions = s.wire(rec.Name, det)
 		d.det = core.NewShared(det)
+		d.detW = d.det
 	}
 	if rec.Err != "" {
 		d.err = errors.New(rec.Err)
+		d.deadW = true
 	}
 	if (rec.State == StateFailed || rec.State == StateQuarantined) && d.err == nil {
 		return nil, fmt.Errorf("fleet: deployment %s is %s but carries no error", rec.Name, rec.State)
@@ -326,17 +420,9 @@ func (s *shard) checkpoint() error {
 	// seq > checkpoint seq, so the new segment's base must sit above every
 	// sequence already written. Segments then partition the sequence space
 	// cleanly — segment with base b holds exactly (b, next segment's base].
-	s.dur.mu.Lock()
-	old := s.dur.journal
-	jw, jerr := openJournal(s.dur.dir, s.id, len(s.pool.shards), s.dur.nextSeq)
-	if jerr == nil {
-		s.dur.journal = jw
+	if err := s.dur.rotate(s.id, len(s.pool.shards)); err != nil {
+		return err
 	}
-	s.dur.mu.Unlock()
-	if jerr != nil {
-		return jerr // keep appending to the old segment; replay still works
-	}
-	old.close()
 	s.prune()
 	return nil
 }

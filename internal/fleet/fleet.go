@@ -16,7 +16,6 @@ package fleet
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math/rand"
 	"sort"
@@ -217,10 +216,20 @@ func New(cfg Config) (*Pool, error) {
 
 // shardIndex routes a deployment key to its shard: FNV-1a over the key, so
 // one deployment's stream is always handled by the same worker, in order.
+// The hash is inlined (bit-identical to hash/fnv's New32a) because the
+// stdlib path forces a []byte conversion and a hash-state allocation on
+// every Submit.
 func shardIndex(deployment string, n int) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(deployment))
-	return int(h.Sum32() % uint32(n))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(deployment); i++ {
+		h ^= uint32(deployment[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
 }
 
 // Submit routes one reading to its deployment's shard. It returns ErrClosed
@@ -228,11 +237,6 @@ func shardIndex(deployment string, n int) int {
 // reading, and otherwise blocks until the shard accepts it. With durability
 // on, the reading is journaled before it is enqueued — once Submit returns
 // nil, a crash cannot lose the reading.
-//
-// Admission goes through a slot semaphore sized like the queue: a held slot
-// guarantees the queue send cannot block, so the journal append (which must
-// happen between sequencing and enqueueing, under the journal mutex) never
-// sits inside a blocking send.
 func (p *Pool) Submit(r ingest.Reading) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -240,6 +244,36 @@ func (p *Pool) Submit(r ingest.Reading) error {
 		return ErrClosed
 	}
 	s := p.shards[shardIndex(r.Deployment, len(p.shards))]
+	if s.dur != nil {
+		return p.submitDurable(s, r)
+	}
+	q := queued{r: r}
+	// The enqueue timestamp feeds the queue-wait histogram and the
+	// ingest.queue_wait span; skip the clock read when neither is on.
+	if p.queueWait != nil || r.Trace.Recording() {
+		q.enq = time.Now()
+	}
+	if p.cfg.Policy == DropNewest {
+		select {
+		case s.queue <- q:
+		default:
+			s.m.dropped.Inc()
+			return ingest.ErrDropped
+		}
+	} else {
+		s.queue <- q
+	}
+	p.readings.Inc()
+	return nil
+}
+
+// submitDurable is the journaled admission path. It goes through a slot
+// semaphore sized like the queue: a held slot guarantees the queue send
+// cannot block, so the journal commit (which must happen between sequencing
+// and enqueueing) never sits inside a blocking send. Concurrent submitters
+// group-commit: their journal frames share one write syscall (see
+// durableShard.commit).
+func (p *Pool) submitDurable(s *shard, r ingest.Reading) error {
 	if p.cfg.Policy == DropNewest {
 		select {
 		case s.slots <- struct{}{}:
@@ -250,37 +284,26 @@ func (p *Pool) Submit(r ingest.Reading) error {
 	} else {
 		s.slots <- struct{}{}
 	}
-	var seq uint64
-	if s.dur != nil {
-		jsp := p.cfg.Tracer.StartSpan("journal.append", r.Trace)
-		s.dur.mu.Lock()
-		s.dur.nextSeq++
-		seq = s.dur.nextSeq
-		err := s.dur.journal.append(journalEntry{
-			Seq:        seq,
-			Deployment: r.Deployment,
-			WireSeq:    r.Seq,
-			Sensor:     r.Sensor,
-			TimeNS:     int64(r.Time),
-			Values:     r.Values,
-		})
-		s.dur.mu.Unlock()
-		jsp.SetInt("seq", int64(seq))
-		jsp.End()
-		if err != nil {
-			<-s.slots
-			return fmt.Errorf("fleet: journal: %w", err)
-		}
+	jsp := p.cfg.Tracer.StartSpan("journal.append", r.Trace)
+	seq, err := s.dur.commit(journalEntry{
+		Deployment: r.Deployment,
+		WireSeq:    r.Seq,
+		Sensor:     r.Sensor,
+		TimeNS:     int64(r.Time),
+		Values:     r.Values,
+	})
+	jsp.SetInt("seq", int64(seq))
+	jsp.End()
+	if err != nil {
+		<-s.slots
+		return fmt.Errorf("fleet: journal: %w", err)
 	}
 	q := queued{seq: seq, r: r}
-	// The enqueue timestamp feeds the queue-wait histogram and the
-	// ingest.queue_wait span; skip the clock read when neither is on.
 	if p.queueWait != nil || r.Trace.Recording() {
 		q.enq = time.Now()
 	}
 	s.queue <- q // cannot block: a slot is held
 	p.readings.Inc()
-	s.m.depth.Set(float64(len(s.queue)))
 	return nil
 }
 
@@ -526,12 +549,24 @@ type queued struct {
 	enq time.Time
 }
 
+// batchMax caps how many queued readings a shard drains per batch — enough
+// to amortise the per-batch bookkeeping (depth gauge, lag scan), small
+// enough to keep metrics fresh under sustained load.
+const batchMax = 256
+
 type shard struct {
 	id    int
 	pool  *Pool
 	queue chan queued
-	slots chan struct{} // admission semaphore; see Submit
+	slots chan struct{} // admission semaphore; see submitDurable
 	m     shardMetrics
+
+	// batch and batchPos are the in-progress drain: workBatch processes
+	// batch[batchPos:]. They live on the shard (not the stack) so a
+	// recovered panic can resume the rest of the batch, skipping only the
+	// poisoned reading.
+	batch    []queued
+	batchPos int
 
 	// Worker-owned durability cursors (no lock: only the worker goroutine
 	// — or recovery, which runs before it starts — touches them).
@@ -558,6 +593,7 @@ func newShard(id int, p *Pool) *shard {
 		pool:         p,
 		queue:        make(chan queued, p.cfg.QueueLen),
 		slots:        make(chan struct{}, p.cfg.QueueLen),
+		batch:        make([]queued, 0, min(batchMax, p.cfg.QueueLen)),
 		lastCkptTime: time.Now(),
 		deployments:  make(map[string]*deployment),
 	}
@@ -591,6 +627,13 @@ type deployment struct {
 	late        int    // wd.Late() already exported to the counter
 	lastWireSeq uint64 // highest producer sequence applied, for retransmission dedup
 
+	// detW and deadW are the worker's own mirrors of det and err != nil.
+	// The worker (or recovery, which runs before it) is the only writer of
+	// both, so the per-reading hot path reads them without crossing mu;
+	// Report/Status still go through the locked fields.
+	detW  *core.Shared
+	deadW bool
+
 	mu          sync.Mutex
 	det         *core.Shared
 	decisions   *core.DecisionRing // nil when Config.DecisionBuffer is 0
@@ -613,6 +656,7 @@ func (d *deployment) snapshot() (*core.Shared, error) {
 }
 
 func (d *deployment) fail(err error) {
+	d.deadW = true
 	d.mu.Lock()
 	d.err = err
 	d.mu.Unlock()
@@ -622,6 +666,7 @@ func (d *deployment) fail(err error) {
 // existing error check in handle/step then swallows the rest of its stream,
 // while every other deployment on the shard keeps running.
 func (d *deployment) quarantine(err error) {
+	d.deadW = true
 	d.mu.Lock()
 	d.quarantined = true
 	if d.err == nil {
@@ -645,12 +690,6 @@ func (d *deployment) stateName() string {
 	}
 }
 
-func (d *deployment) detector() *core.Shared {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.det
-}
-
 // run supervises the shard worker: consume restarts after every recovered
 // panic until the queue closes. A clean shutdown (Drain) flushes open
 // windows and writes a final checkpoint; an abort skips both, like a crash.
@@ -659,6 +698,9 @@ func (s *shard) run() {
 	defer func() {
 		if s.dur != nil {
 			s.dur.mu.Lock()
+			for s.dur.flushing {
+				s.dur.idle.Wait()
+			}
 			s.dur.journal.close()
 			s.dur.mu.Unlock()
 		}
@@ -683,7 +725,13 @@ func (s *shard) run() {
 // recovered (restart=true). A panic quarantines the deployment whose reading
 // was being handled; the reading count it was part of stays applied (its
 // journal sequence was recorded before handling), so checkpoints taken after
-// a restart remain consistent with replay.
+// a restart remain consistent with replay. The interrupted batch stays on
+// the shard: the restarted worker resumes it past the poisoned reading, so
+// a panic never drops the innocent readings drained alongside it.
+//
+// Readings drain in batches: one blocking receive, then up to batchMax-1
+// opportunistic receives, so per-batch bookkeeping (queue-depth gauge,
+// watermark-lag scan) is paid once per drain instead of once per reading.
 func (s *shard) consume() (restart bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -692,15 +740,53 @@ func (s *shard) consume() (restart bool) {
 				d.quarantine(fmt.Errorf("fleet: shard %d worker panic: %v", s.id, r))
 				s.current = nil
 			}
+			// Skip the reading that blew up; the restarted worker
+			// picks up the rest of the batch.
+			s.batchPos++
 			restart = true
 		}
 	}()
-	for q := range s.queue {
-		<-s.slots
+	if !s.workBatch() { // resume a batch a recovered panic interrupted
+		return false
+	}
+	for {
+		q, ok := <-s.queue
+		if !ok {
+			return false
+		}
+		s.batch = append(s.batch[:0], q)
+	fill:
+		for len(s.batch) < cap(s.batch) {
+			select {
+			case q, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				s.batch = append(s.batch, q)
+			default:
+				break fill
+			}
+		}
+		s.batchPos = 0
+		if !s.workBatch() {
+			return false
+		}
+	}
+}
+
+// workBatch processes batch[batchPos:], returning false on abort. Per-batch
+// (not per-reading) it refreshes the depth and lag gauges and trims the
+// batch; per-reading state (applied cursor, current deployment) still
+// updates item by item so checkpoints and panic attribution stay exact.
+func (s *shard) workBatch() bool {
+	for s.batchPos < len(s.batch) {
+		q := s.batch[s.batchPos]
+		if s.dur != nil {
+			<-s.slots
+		}
 		if s.pool.aborted.Load() {
 			return false
 		}
-		s.m.depth.Set(float64(len(s.queue)))
 		if !q.enq.IsZero() {
 			wait := time.Since(q.enq)
 			s.pool.queueWait.Observe(wait.Seconds())
@@ -718,18 +804,23 @@ func (s *shard) consume() (restart bool) {
 		s.handle(s.current, q.r)
 		s.current = nil
 		s.maybeCheckpoint()
+		s.batchPos++
 	}
-	return false
+	s.batch = s.batch[:0]
+	s.batchPos = 0
+	s.m.depth.Set(float64(len(s.queue)))
+	s.updateLag()
+	return true
 }
 
 func (s *shard) deployment(name string) *deployment {
-	s.mu.RLock()
-	d := s.deployments[name]
-	s.mu.RUnlock()
-	if d != nil {
+	// Lock-free read: the worker goroutine is the map's only writer (its
+	// own insert below runs under mu solely for Report/Health readers),
+	// so its reads cannot race anything.
+	if d := s.deployments[name]; d != nil {
 		return d
 	}
-	d = &deployment{name: name}
+	d := &deployment{name: name}
 	s.mu.Lock()
 	s.deployments[name] = d
 	s.mu.Unlock()
@@ -737,7 +828,7 @@ func (s *shard) deployment(name string) *deployment {
 }
 
 func (s *shard) handle(d *deployment, r ingest.Reading) {
-	if _, err := d.snapshot(); err != nil {
+	if d.deadW {
 		return // deployment died or is quarantined; swallow its stream
 	}
 	if r.Seq > 0 { // producer-stamped wire sequence: dedup retransmissions
@@ -750,7 +841,7 @@ func (s *shard) handle(d *deployment, r ingest.Reading) {
 	if hook := s.pool.cfg.panicOn; hook != nil && hook(r) {
 		panic(fmt.Sprintf("injected fault for deployment %s", r.Deployment))
 	}
-	if d.detector() == nil {
+	if d.detW == nil {
 		if !d.started {
 			d.started = true
 			d.first = r.Time
@@ -765,7 +856,6 @@ func (s *shard) handle(d *deployment, r ingest.Reading) {
 		}
 	}
 	s.feed(d, r.Reading, r.Trace)
-	s.updateLag()
 }
 
 // bootstrap seeds the model states by k-means over the buffered horizon —
@@ -793,10 +883,12 @@ func (s *shard) bootstrap(d *deployment) error {
 	}
 	ring := s.wire(d.name, det)
 	d.wd = wd
+	shared := core.NewShared(det)
 	d.mu.Lock()
-	d.det = core.NewShared(det)
+	d.det = shared
 	d.decisions = ring
 	d.mu.Unlock()
+	d.detW = shared
 	pending := d.pending
 	d.pending = nil
 	for _, r := range pending {
@@ -856,11 +948,10 @@ func (s *shard) feed(d *deployment, r sensor.Reading, tc obs.SpanContext) {
 }
 
 func (s *shard) step(d *deployment, w network.Window) {
-	det, err := d.snapshot()
-	if err != nil {
+	if d.deadW {
 		return
 	}
-	if _, err := det.Step(w); err != nil {
+	if _, err := d.detW.Step(w); err != nil {
 		d.fail(fmt.Errorf("window %d: %w", w.Index, err))
 		return
 	}
@@ -906,10 +997,10 @@ func (s *shard) drainDeployment(d *deployment) {
 			d.quarantine(fmt.Errorf("fleet: shard %d drain panic: %v", s.id, r))
 		}
 	}()
-	if _, err := d.snapshot(); err != nil {
+	if d.deadW {
 		return
 	}
-	if d.detector() == nil {
+	if d.detW == nil {
 		if len(d.pending) == 0 {
 			return
 		}

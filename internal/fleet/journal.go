@@ -102,6 +102,16 @@ func (w *journalWriter) append(e journalEntry) error {
 	return err
 }
 
+// write flushes a buffer of pre-framed records in one syscall — the group
+// commit path. The buffer must hold whole frames in sequence order.
+func (w *journalWriter) write(buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(buf)
+	return err
+}
+
 func (w *journalWriter) close() error {
 	if w == nil || w.f == nil {
 		return nil

@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestShardIndexMatchesStdlibFNV pins the inlined hash to hash/fnv's
+// FNV-1a: shard routing decides which shard directory holds a deployment's
+// journal and checkpoints, so the mapping must never drift across versions —
+// recovery of pre-existing state depends on it.
+func TestShardIndexMatchesStdlibFNV(t *testing.T) {
+	keys := []string{"", "default", "gdi", "dep-0", "dep-15", "a-much-longer-deployment-key-with-punctuation.and/slashes", "日本語"}
+	for i := 0; i < 100; i++ {
+		keys = append(keys, fmt.Sprintf("dep-%d", i))
+	}
+	for _, n := range []int{1, 3, 4, 16, 255} {
+		for _, k := range keys {
+			h := fnv.New32a()
+			_, _ = h.Write([]byte(k))
+			want := int(h.Sum32() % uint32(n))
+			if got := shardIndex(k, n); got != want {
+				t.Fatalf("shardIndex(%q, %d) = %d, want %d (stdlib FNV-1a)", k, n, got, want)
+			}
+		}
+	}
+}
+
+// TestShardIndexZeroAlloc pins that routing allocates nothing: the stdlib
+// path paid a hash-state allocation and a []byte(key) copy on every Submit.
+func TestShardIndexZeroAlloc(t *testing.T) {
+	key := "some-deployment-key"
+	if got := testing.AllocsPerRun(1000, func() {
+		shardIndex(key, 16)
+	}); got != 0 {
+		t.Fatalf("shardIndex allocates %v times per call, want 0", got)
+	}
+}

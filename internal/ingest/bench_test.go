@@ -1,0 +1,43 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+// BenchmarkDecodeLine measures the wire-to-Reading cost of one NDJSON line —
+// the first stage every streamed reading pays. Allocations are reported
+// because decode cost is pure overhead on the ingest hot path.
+func BenchmarkDecodeLine(b *testing.B) {
+	line := []byte(`{"deployment":"gdi-field-7","seq":12345,"sensor":3,"time_s":86400.5,"values":[12.5,94.0]}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowerAdd measures the streaming windower's per-reading cost on
+// an in-order stream (the common case): bucket append, watermark advance,
+// and the periodic window emission every 12 readings.
+func BenchmarkWindowerAdd(b *testing.B) {
+	wd, err := NewWindower(time.Hour, 30*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := sensor.Reading{
+			Sensor: i % 10,
+			Time:   time.Duration(i) * 5 * time.Minute,
+			Values: vecmat.Vector{12.5, 94.0},
+		}
+		wd.Add(r)
+	}
+}

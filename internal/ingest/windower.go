@@ -32,7 +32,16 @@ type Windower struct {
 	width    time.Duration
 	lateness time.Duration
 
-	open     map[int][]sensor.Reading
+	// open buffers readings per not-yet-emitted window. Buckets are boxed
+	// so the per-reading append updates the slice through the pointer
+	// instead of re-storing a map value, and curIdx/cur cache the bucket
+	// of the most recent append — with in-order input the map is touched
+	// once per window, not once per reading.
+	open     map[int]*[]sensor.Reading
+	curIdx   int
+	cur      *[]sensor.Reading
+	free     []*[]sensor.Reading     // recycled bucket boxes (arrays ship out with their window)
+	sizeHint int                     // last non-empty emitted window's reading count
 	traces   map[int]obs.SpanContext // first sampled context per open window
 	started  bool
 	nextEmit int           // lowest window index not yet emitted
@@ -54,7 +63,7 @@ func NewWindower(width, lateness time.Duration) (*Windower, error) {
 	return &Windower{
 		width:    width,
 		lateness: lateness,
-		open:     make(map[int][]sensor.Reading),
+		open:     make(map[int]*[]sensor.Reading),
 		traces:   make(map[int]obs.SpanContext),
 	}, nil
 }
@@ -82,7 +91,17 @@ func (w *Windower) AddTraced(r sensor.Reading, tc obs.SpanContext) []network.Win
 		w.late++
 		return nil
 	}
-	w.open[idx] = append(w.open[idx], r)
+	if w.cur != nil && idx == w.curIdx {
+		*w.cur = append(*w.cur, r)
+	} else {
+		b := w.open[idx]
+		if b == nil {
+			b = w.newBucket()
+			w.open[idx] = b
+		}
+		*b = append(*b, r)
+		w.curIdx, w.cur = idx, b
+	}
 	if tc.Recording() {
 		if _, ok := w.traces[idx]; !ok {
 			w.traces[idx] = tc
@@ -110,11 +129,40 @@ func (w *Windower) advance() []network.Window {
 	return out
 }
 
+// newBucket returns an empty bucket box, reusing one a previous emit freed.
+// Backing arrays are never recycled — they leave with their window — so the
+// size hint pre-sizes fresh ones to the last emitted window's count, turning
+// the per-window append-growth chain into a single allocation.
+func (w *Windower) newBucket() *[]sensor.Reading {
+	arr := make([]sensor.Reading, 0, w.sizeHint)
+	if n := len(w.free); n > 0 {
+		b := w.free[n-1]
+		w.free = w.free[:n-1]
+		*b = arr
+		return b
+	}
+	return &arr
+}
+
 // emit builds one window, consuming its buffered readings and trace context.
+// The readings' backing array transfers to the window (callers may retain
+// it); only the empty bucket box is recycled.
 func (w *Windower) emit(idx int) network.Window {
-	win := network.BuildWindow(idx, w.width, w.open[idx])
+	var rs []sensor.Reading
+	if b := w.open[idx]; b != nil {
+		rs = *b
+		*b = nil
+		w.free = append(w.free, b)
+		delete(w.open, idx)
+	}
+	if w.cur != nil && w.curIdx == idx {
+		w.cur = nil
+	}
+	if len(rs) > 0 {
+		w.sizeHint = len(rs)
+	}
+	win := network.BuildWindow(idx, w.width, rs)
 	win.Trace = w.traces[idx]
-	delete(w.open, idx)
 	delete(w.traces, idx)
 	return win
 }
@@ -129,8 +177,9 @@ func (w *Windower) Flush() []network.Window {
 	for i := w.nextEmit; i <= w.maxIndex; i++ {
 		out = append(out, w.emit(i))
 	}
-	w.open = make(map[int][]sensor.Reading)
+	w.open = make(map[int]*[]sensor.Reading)
 	w.traces = make(map[int]obs.SpanContext)
+	w.cur = nil
 	w.started = false
 	return out
 }
@@ -176,7 +225,8 @@ func (w *Windower) Export() WindowerState {
 	}
 	if len(w.open) > 0 {
 		st.Open = make(map[int][]sensor.Reading, len(w.open))
-		for idx, rs := range w.open {
+		for idx, b := range w.open {
+			rs := *b
 			cp := make([]sensor.Reading, len(rs))
 			for i, r := range rs {
 				cp[i] = r
@@ -214,7 +264,7 @@ func RestoreWindower(st WindowerState) (*Windower, error) {
 			cp[i] = r
 			cp[i].Values = r.Values.Clone()
 		}
-		w.open[idx] = cp
+		w.open[idx] = &cp
 	}
 	w.started = true
 	w.nextEmit = st.NextEmit

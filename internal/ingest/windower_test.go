@@ -132,6 +132,54 @@ func TestLateReadingsDropped(t *testing.T) {
 	}
 }
 
+// TestWatermarkBoundaryAdmitsExactReading pins the boundary of the lateness
+// contract: a reading whose event time equals the watermark (max time seen
+// minus lateness) lands in a window whose end is strictly after the
+// watermark, so it must be admitted — only readings strictly inside an
+// already-emitted window are late. The emitted windows must still match the
+// offline network.WindowAll over the admitted readings.
+func TestWatermarkBoundaryAdmitsExactReading(t *testing.T) {
+	wd, err := NewWindower(time.Hour, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []network.Window
+	emitted = append(emitted, wd.Add(reading(0, 10*time.Minute))...)
+	// 2h30m: watermark 2h — windows 0 and the empty gap window 1 close.
+	emitted = append(emitted, wd.Add(reading(0, 150*time.Minute))...)
+	if len(emitted) != 2 || emitted[0].Index != 0 || emitted[1].Index != 1 {
+		t.Fatalf("expected windows 0,1 emitted at watermark 2h, got %+v", emitted)
+	}
+	// Event time exactly at the watermark: window 2 = [2h, 3h) is still open.
+	boundary := reading(1, 2*time.Hour)
+	if out := wd.Add(boundary); len(out) != 0 {
+		t.Fatalf("boundary reading emitted windows: %+v", out)
+	}
+	if wd.Late() != 0 {
+		t.Fatalf("reading at the watermark counted late")
+	}
+	// One minute below the watermark falls in emitted window 1: dropped.
+	wd.Add(reading(1, 119*time.Minute))
+	if wd.Late() != 1 {
+		t.Fatalf("late count %d, want 1 (reading below watermark)", wd.Late())
+	}
+	emitted = append(emitted, wd.Flush()...)
+
+	// The admitted stream, offline: same windows, boundary reading included.
+	kept := []sensor.Reading{reading(0, 10*time.Minute), boundary, reading(0, 150*time.Minute)}
+	network.SortReadings(kept)
+	want, err := network.WindowAll(kept, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range emitted {
+		network.SortReadings(emitted[i].Readings)
+	}
+	if !reflect.DeepEqual(emitted, want) {
+		t.Fatalf("emitted windows differ from offline WindowAll:\n got %+v\nwant %+v", emitted, want)
+	}
+}
+
 // TestLatenessHoldsWindowsOpen checks the bounded-lateness contract: with
 // lateness L, a window stays open until the watermark (max time - L) passes
 // its end.

@@ -266,6 +266,12 @@ func (t *Tracer) Root(name string) *Span {
 // StartSpan starts a child span under parent; nil when the tracer is nil or
 // the parent context is not recording.
 func (t *Tracer) StartSpan(name string, parent SpanContext) *Span {
+	// The no-op check runs before the clock read: StartSpan sits on
+	// per-reading hot paths where the tracer is usually nil or the
+	// context unsampled, and time.Now is most of a no-op span's cost.
+	if t == nil || !parent.Recording() {
+		return nil
+	}
 	return t.StartSpanAt(name, parent, time.Now())
 }
 
