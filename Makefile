@@ -1,7 +1,7 @@
 GO ?= go
 BENCHSTAT ?= $(GO) run golang.org/x/perf/cmd/benchstat@latest
 
-.PHONY: build test race bench bench-smoke bench-compare
+.PHONY: build test race lint bench bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,19 @@ test:
 
 race:
 	$(GO) test -race ./internal/... ./cmd/...
+
+# lint forbids ad-hoc diagnostic prints outside examples/ and tests: all
+# operational chatter must go through the structured slog logger
+# (obs.NewLogger), so every line is JSON and carries trace correlation.
+lint:
+	@bad=$$(grep -rn 'log\.Printf\|log\.Println\|fmt\.Fprintf(os\.Stderr\|fmt\.Fprintf(errOut' \
+		--include='*.go' . \
+		| grep -v '_test\.go' | grep -v '^\./examples/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "ad-hoc prints found; use the structured logger (obs.NewLogger):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
 
 # bench refreshes the committed trajectory files. Run on a quiet machine;
 # bench/seed_*.txt stay frozen at the numbers measured before the hot-path

@@ -29,11 +29,11 @@ package main
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -178,6 +178,7 @@ func streamTrace(out io.Writer, tr sensorguard.Trace, deployment string, rate fl
 // the crash harness uses.
 func postTrace(tr sensorguard.Trace, o options, errOut io.Writer) error {
 	client := &http.Client{Timeout: 30 * time.Second}
+	log := sensorguard.NewLogger(errOut, slog.LevelInfo, "gdigen")
 	rng := rand.New(rand.NewSource(o.seed + 7))
 	var batch bytes.Buffer
 	var prev time.Duration
@@ -190,7 +191,7 @@ func postTrace(tr sensorguard.Trace, o options, errOut io.Writer) error {
 		// decides whether to record it, and retries of one batch share the
 		// trace ID so a duplicate shows up as one story, not several.
 		tc := sensorguard.NewRootContext()
-		if err := postBatch(client, o.post, batch.Bytes(), tc, o.postRetry, rng, errOut); err != nil {
+		if err := postBatch(client, o.post, batch.Bytes(), tc, o.postRetry, rng, log); err != nil {
 			return err
 		}
 		batch.Reset()
@@ -230,13 +231,14 @@ func postTrace(tr sensorguard.Trace, o options, errOut io.Writer) error {
 // postBatch POSTs one NDJSON batch stamped with the batch's trace context,
 // retrying transient failures (connection refused or reset, timeouts, 5xx
 // responses) with exponential backoff and jitter until the retry budget runs
-// out. 4xx responses are permanent. Each retry is announced as one NDJSON
-// event on errOut, so a supervisor can watch the producer ride out restarts.
-func postBatch(client *http.Client, url string, body []byte, tc sensorguard.SpanContext, budget time.Duration, rng *rand.Rand, errOut io.Writer) error {
+// out. 4xx responses are permanent. Each retry is announced as one structured
+// ingest_post_retry log event (see retryEvent for the attribute schema), so a
+// supervisor can watch the producer ride out restarts.
+func postBatch(client *http.Client, url string, body []byte, tc sensorguard.SpanContext, budget time.Duration, rng *rand.Rand, log *slog.Logger) error {
 	deadline := time.Now().Add(budget)
 	backoff := 100 * time.Millisecond
 	for attempt := 1; ; attempt++ {
-		err := postOnce(client, url, body, tc)
+		status, err := postOnce(client, url, body, tc)
 		if err == nil {
 			return nil
 		}
@@ -249,13 +251,13 @@ func postBatch(client *http.Client, url string, body []byte, tc sensorguard.Span
 		}
 		// Full jitter on the current backoff step, capped at 5s.
 		sleep := time.Duration(rng.Int63n(int64(backoff))) + backoff/2
-		_ = json.NewEncoder(errOut).Encode(retryEvent{
-			Event:     "ingest_post_retry",
-			Attempt:   attempt,
-			BackoffMS: sleep.Milliseconds(),
-			TraceID:   tc.Trace.String(),
-			Err:       err.Error(),
-		})
+		log.Warn("ingest_post_retry",
+			slog.String("event", "ingest_post_retry"),
+			slog.Int("attempt", attempt),
+			slog.Int64("backoff_ms", sleep.Milliseconds()),
+			slog.Int("status", status),
+			slog.String("trace_id", tc.Trace.String()),
+			slog.String("error", err.Error()))
 		time.Sleep(sleep)
 		if backoff *= 2; backoff > 5*time.Second {
 			backoff = 5 * time.Second
@@ -263,11 +265,15 @@ func postBatch(client *http.Client, url string, body []byte, tc sensorguard.Span
 	}
 }
 
-// retryEvent is the structured per-retry record postBatch emits.
+// retryEvent is the attribute schema of the ingest_post_retry log event
+// postBatch emits, one JSON object per retry. Status is the HTTP status of
+// the failed attempt, or 0 when the failure was transport-level (connection
+// refused/reset, timeout) and no response arrived.
 type retryEvent struct {
 	Event     string `json:"event"`
 	Attempt   int    `json:"attempt"`
 	BackoffMS int64  `json:"backoff_ms"`
+	Status    int    `json:"status"`
 	TraceID   string `json:"trace_id"`
 	Err       string `json:"error"`
 }
@@ -277,10 +283,12 @@ type permanentError struct{ err error }
 
 func (e *permanentError) Error() string { return e.err.Error() }
 
-func postOnce(client *http.Client, url string, body []byte, tc sensorguard.SpanContext) error {
+// postOnce performs one POST attempt, returning the HTTP status code it got
+// (0 when the transport failed before any response) alongside the verdict.
+func postOnce(client *http.Client, url string, body []byte, tc sensorguard.SpanContext) (int, error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return &permanentError{err}
+		return 0, &permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	if tc.Valid() {
@@ -288,17 +296,17 @@ func postOnce(client *http.Client, url string, body []byte, tc sensorguard.SpanC
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return err // transport-level: refused, reset, timeout — retryable
+		return 0, err // transport-level: refused, reset, timeout — retryable
 	}
 	defer resp.Body.Close()
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
 	switch {
 	case resp.StatusCode < 300:
-		return nil
+		return resp.StatusCode, nil
 	case resp.StatusCode >= 500:
-		return fmt.Errorf("server %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		return resp.StatusCode, fmt.Errorf("server %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	default:
-		return &permanentError{fmt.Errorf("post %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))}
+		return resp.StatusCode, &permanentError{fmt.Errorf("post %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))}
 	}
 }
 

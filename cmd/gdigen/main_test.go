@@ -348,4 +348,7 @@ func TestRunPostStampsTraceContext(t *testing.T) {
 	if ev.BackoffMS <= 0 || ev.Err == "" {
 		t.Errorf("retry event %+v missing backoff or error detail", ev)
 	}
+	if ev.Status != http.StatusServiceUnavailable {
+		t.Errorf("retry event status = %d, want the failed attempt's %d", ev.Status, http.StatusServiceUnavailable)
+	}
 }

@@ -48,7 +48,7 @@ type sentinelChild struct {
 	waited bool
 }
 
-var ingestAddrRe = regexp.MustCompile(`serving ingest on (http://[^/\s]+/ingest)`)
+var ingestAddrRe = regexp.MustCompile(`"msg":"serving ingest".*"url":"(http://[^"]+/ingest)"`)
 
 // startSentinel re-execs the test binary as a sentinel serving on an
 // ephemeral port with durability rooted at dir, and waits until the ingest

@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -138,7 +139,7 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(errOut, "sentinel: serving metrics on http://%s/metrics\n", srv.Addr())
+		logger(errOut).Info("serving metrics", "url", "http://"+srv.Addr()+"/metrics")
 	}
 
 	var in io.Reader
@@ -205,10 +206,17 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		printReport(out, det, rep, *matrices, *dot)
 	}
 	if *hold > 0 {
-		fmt.Fprintf(errOut, "sentinel: holding metrics endpoint for %v\n", *hold)
+		logger(errOut).Info("holding metrics endpoint", "hold", hold.String())
 		time.Sleep(*hold)
 	}
 	return nil
+}
+
+// logger builds the process-wide structured logger: trace-correlated JSON
+// lines on the diagnostic stream, tagged component=sentinel. Reports still go
+// to stdout untouched — only operational chatter is structured.
+func logger(errOut io.Writer) *slog.Logger {
+	return sensorguard.NewLogger(errOut, slog.LevelInfo, "sentinel")
 }
 
 func printReport(out io.Writer, det *sensorguard.Detector, rep sensorguard.Report, matrices, dot bool) {

@@ -264,7 +264,7 @@ func TestRunMetricsEndpoint(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	m := regexp.MustCompile(`serving metrics on (http://[^/\s]+)/metrics`).FindStringSubmatch(errOut.String())
+	m := regexp.MustCompile(`"msg":"serving metrics".*"url":"(http://[^"]+)/metrics"`).FindStringSubmatch(errOut.String())
 	if m == nil {
 		t.Fatalf("no metrics address announced:\n%s", errOut.String())
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -59,6 +60,7 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	log := logger(errOut)
 	metrics := sensorguard.NewMetricsRegistry()
 	var tracer *sensorguard.Tracer
 	if o.traces > 0 {
@@ -93,6 +95,7 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 		Tracer:         tracer,
 		DecisionBuffer: o.decisions,
 		AuditLog:       audit,
+		Logger:         log,
 		Durability: sensorguard.FleetDurability{
 			Dir:      o.ckptDir,
 			Interval: o.ckptInterval,
@@ -104,21 +107,24 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 		return err
 	}
 	if tracer != nil {
-		fmt.Fprintf(errOut, "sentinel: tracing 1/%d ingest batches, last %d traces on /debug/traces\n",
-			max(o.traceSample, 1), o.traces)
+		log.Info("tracing ingest batches",
+			"sample_every", max(o.traceSample, 1), "max_traces", o.traces, "endpoint", "/debug/traces")
 	}
 	if o.decisions > 0 {
-		fmt.Fprintf(errOut, "sentinel: retaining %d decision records per deployment on /debug/decisions/{deployment}\n", o.decisions)
+		log.Info("retaining decision records",
+			"per_deployment", o.decisions, "endpoint", "/debug/decisions/{deployment}")
 	}
 	if o.ckptDir != "" {
-		fmt.Fprintf(errOut, "sentinel: journaling readings and checkpointing state under %s (recover=%v)\n", o.ckptDir, o.recover)
+		log.Info("journaling readings and checkpointing state", "dir", o.ckptDir, "recover", o.recover)
 	}
 
 	srv, err := sensorguard.ServeFleet(o.listen, pool, metrics)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(errOut, "sentinel: serving ingest on http://%s/ingest, reports on /report/{deployment}, metrics on /metrics\n", srv.Addr())
+	log.Info("serving ingest",
+		"url", "http://"+srv.Addr()+"/ingest",
+		"reports", "/report/{deployment}", "metrics", "/metrics", "dashboard", "/debug/dashboard")
 
 	var tcpSrv *sensorguard.IngestTCPServer
 	if o.tcp != "" {
@@ -127,7 +133,7 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 			srv.Close()
 			return err
 		}
-		fmt.Fprintf(errOut, "sentinel: accepting NDJSON readings on tcp://%s\n", tcpSrv.Addr())
+		log.Info("accepting NDJSON readings", "addr", "tcp://"+tcpSrv.Addr())
 	}
 	// Shut the listeners down gracefully whichever way the serve loop ends:
 	// in-flight ingests and scrapes get shutdownGrace to finish, then their
@@ -136,7 +142,7 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(errOut, "sentinel: http shutdown: %v\n", err)
+			log.Warn("http shutdown", "error", err.Error())
 		}
 		if tcpSrv != nil {
 			tcpSrv.Close()
@@ -157,28 +163,28 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(errOut, "sentinel: source stream done (accepted %d, rejected %d, dropped %d)\n",
-			st.Accepted, st.Rejected, st.Dropped)
+		log.Info("source stream done",
+			"accepted", st.Accepted, "rejected", st.Rejected, "dropped", st.Dropped)
 	} else {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		signal.Stop(sig)
-		fmt.Fprintln(errOut, "sentinel: shutting down, draining fleet")
+		log.Info("shutting down, draining fleet")
 	}
 
 	pool.Drain()
-	return printFleetReports(pool, o.asJSON, out, errOut)
+	return printFleetReports(pool, o.asJSON, out, log)
 }
 
 // printFleetReports renders every deployment's diagnosis after a drain. In
 // JSON mode a single deployment prints the bare report — byte-identical to
 // the offline mode's output on the same readings — and multiple deployments
 // print an object keyed by deployment.
-func printFleetReports(pool *sensorguard.Fleet, asJSON bool, out, errOut io.Writer) error {
+func printFleetReports(pool *sensorguard.Fleet, asJSON bool, out io.Writer, log *slog.Logger) error {
 	deps := pool.Deployments()
 	if len(deps) == 0 {
-		fmt.Fprintln(errOut, "sentinel: no readings received")
+		log.Warn("no readings received")
 		return nil
 	}
 	if asJSON {

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"runtime"
@@ -146,13 +147,14 @@ func run(args []string, out, errOut io.Writer) error {
 		Passes:      o.passes,
 		LineBytes:   lineBytes,
 	}
+	log := obs.NewLogger(errOut, slog.LevelInfo, "sgbench")
 	decoded := make([]ingest.Reading, len(lines))
 	rep.Decode, err = measureDecode(lines, decoded)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(errOut, "ingest decode: %.0f ns/line (%.0f lines/sec)\n",
-		rep.Decode.NsPerLine, rep.Decode.LinesSec)
+	log.Info("ingest decode",
+		"ns_per_line", rep.Decode.NsPerLine, "lines_per_sec", rep.Decode.LinesSec)
 
 	span := tr.Readings[len(tr.Readings)-1].Time + time.Hour
 	for _, shards := range shardCounts {
@@ -160,8 +162,9 @@ func run(args []string, out, errOut io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
-		fmt.Fprintf(errOut, "fleet shards=%d: %.0f readings/sec, window step p50 %.1fµs p99 %.1fµs\n",
-			shards, fr.ReadingsPerSec, fr.WindowP50us, fr.WindowP99us)
+		log.Info("fleet replay",
+			"shards", shards, "readings_per_sec", fr.ReadingsPerSec,
+			"window_step_p50_us", fr.WindowP50us, "window_step_p99_us", fr.WindowP99us)
 		rep.Fleet = append(rep.Fleet, fr)
 	}
 
@@ -169,8 +172,8 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(errOut, "detector step: %.0f ns/op, %.1f allocs/op\n",
-		rep.BareStep.NsPerOp, rep.BareStep.AllocsPerOp)
+	log.Info("detector step",
+		"ns_per_op", rep.BareStep.NsPerOp, "allocs_per_op", rep.BareStep.AllocsPerOp)
 
 	return writeReport(rep, o.out, out)
 }

@@ -64,6 +64,28 @@ func BenchmarkStepInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkStepHealthTracker is BenchmarkStep with a per-deployment health
+// tracker attached — the always-on fleet configuration. Comparing against
+// BenchmarkStep gives the drift-telemetry overhead, which the health tier
+// budgets at < 5% (see TestStepHealthOverhead).
+func BenchmarkStepHealthTracker(b *testing.B) {
+	d, err := NewDetector(DefaultConfig(keyStates()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.SetHealthTracker(obs.NewHealthTracker(obs.HealthConfig{}))
+	wins := benchWindows(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := wins[i%4]
+		w.Index = i
+		if _, err := d.Step(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStepWithTrackedSensor adds an alarming outlier so the alarm,
 // track, M_CE, and profile paths are all exercised.
 func BenchmarkStepWithTrackedSensor(b *testing.B) {

@@ -45,6 +45,15 @@ type Detector struct {
 	// path.
 	tracer    *obs.Tracer
 	decisions DecisionSink
+	// health receives one cheap HealthSample per window (see health.go);
+	// nil when drift telemetry is off. driftBase is the post-bootstrap
+	// M_C/M_O reference the polled shift metrics compare against.
+	health    *obs.HealthTracker
+	driftBase *driftBaseline
+	// hc accumulates the window's health counts inside the per-sensor
+	// loop (which already has every value in registers), so observeHealth
+	// never re-walks the sensors map on the hot path.
+	hc healthCounts
 	// epoch anchors stage timing: boundaries take monotonic marks via
 	// time.Since(epoch), which skips the wall-clock read of time.Now and
 	// roughly halves the per-mark cost on the instrumented hot path.
@@ -204,7 +213,11 @@ func (d *Detector) SetDecisionSink(s DecisionSink) { d.decisions = s }
 func (d *Detector) Step(w network.Window) (StepResult, error) {
 	traced := d.tracer != nil && w.Trace.Recording()
 	if d.inst == nil && !traced && d.decisions == nil {
-		return d.step(w, nil)
+		res, err := d.step(w, nil)
+		if err == nil && d.health != nil {
+			d.observeHealth(res)
+		}
+		return res, err
 	}
 	ev := obs.Event{Window: w.Index, Readings: len(w.Readings)}
 	res, err := d.step(w, &ev)
@@ -221,6 +234,9 @@ func (d *Detector) Step(w network.Window) (StepResult, error) {
 	}
 	if d.decisions != nil {
 		d.decisions.Record(d.decide(w, res))
+	}
+	if d.health != nil {
+		d.observeHealth(res)
 	}
 	return res, nil
 }
@@ -363,12 +379,30 @@ func (d *Detector) step(w network.Window, ev *obs.Event) (StepResult, error) {
 	}
 
 	// Alarm generation, filtering, and track management per sensor.
+	trackHealth := d.health != nil
+	if trackHealth {
+		d.hc = healthCounts{}
+	}
 	for i, id := range ids {
 		raw := mapped[i] != correct
 		filtered := d.filter.Observe(id, raw)
 		d.stats.Record(id, raw, filtered)
 
 		tr, symbol, recorded := d.tracks.Observe(w.Index, id, filtered, mapped[i], correct)
+		if trackHealth {
+			if raw {
+				d.hc.raw++
+			}
+			if filtered {
+				d.hc.filtered++
+			}
+			if recorded {
+				d.hc.symbols++
+				if symbol == track.Bottom {
+					d.hc.bottoms++
+				}
+			}
+		}
 		if ev != nil {
 			if raw {
 				ev.RawAlarms++

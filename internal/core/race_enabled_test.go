@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled lets timing-sensitive tests skip under the race detector,
+// whose instrumentation distorts the ratios they measure.
+const raceEnabled = true

@@ -335,7 +335,7 @@ func (s *shard) restoreDeployment(rec deploymentCheckpoint) (*deployment, error)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: deployment %s: %w", rec.Name, err)
 		}
-		d.decisions = s.wire(rec.Name, det)
+		d.decisions, d.health = s.wire(rec.Name, det)
 		d.det = core.NewShared(det)
 		d.detW = d.det
 	}

@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,9 +100,29 @@ type Config struct {
 	// when Durability.Dir is set.
 	Durability Durability
 
+	// Health tunes the per-deployment drift telemetry (zero value =
+	// defaults); DisableHealth turns the trackers off entirely.
+	Health        obs.HealthConfig
+	DisableHealth bool
+	// SLOs overrides the burn-rate specs the pool evaluates (nil =
+	// DefaultSLOs). Specs bind to their measurement source by Name, so an
+	// override may only rename thresholds/windows, not invent new sources;
+	// an unknown name fails New.
+	SLOs []obs.SLOSpec
+	// SLOTick is the burn-rate evaluation cadence (default 5s). Drift
+	// polling and per-deployment health gauges ride the same tick.
+	SLOTick time.Duration
+	// Logger, when non-nil, receives structured operational logs: alert
+	// transitions, recovered panics, drift verdicts.
+	Logger *slog.Logger
+
 	// panicOn, when set, makes the shard worker panic while handling a
 	// matching reading — the hook the supervision tests inject faults with.
 	panicOn func(ingest.Reading) bool
+	// stallOn, when set, can return a channel for a matching reading; the
+	// shard worker blocks on it before handling — the hook the saturation
+	// tests back a queue up with.
+	stallOn func(ingest.Reading) <-chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +143,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.States <= 0 {
 		c.States = 6
+	}
+	if c.SLOTick <= 0 {
+		c.SLOTick = 5 * time.Second
+	}
+	if c.SLOs == nil {
+		c.SLOs = DefaultSLOs()
 	}
 	if c.NewDetector == nil {
 		window := c.Window
@@ -173,6 +201,17 @@ type Pool struct {
 	panics    *obs.Counter
 	restarts  *obs.Counter
 	queueWait *obs.Histogram
+	// journalAppend times the durable admission path's commit; it feeds
+	// the journal-append-latency SLO.
+	journalAppend *obs.Histogram
+	alertEdges    *obs.Counter
+
+	// slo evaluates the burn-rate alerts on a background ticker; stopSLO
+	// shuts the ticker goroutine down exactly once (Drain and abort).
+	slo     *obs.SLOEngine
+	sloStop chan struct{}
+	sloDone chan struct{}
+	sloOnce sync.Once
 
 	audit *core.DecisionLog
 }
@@ -192,6 +231,15 @@ func New(cfg Config) (*Pool, error) {
 		p.restarts = reg.Counter("fleet_restarts_total", "shard worker restarts after a recovered panic")
 		p.queueWait = reg.Histogram("fleet_queue_wait_seconds",
 			"time a reading spends in its shard queue between Submit and worker pickup", obs.LatencyBuckets())
+		if cfg.Durability.Dir != "" {
+			p.journalAppend = reg.Histogram("fleet_journal_append_seconds",
+				"journal group-commit latency on the durable admission path", obs.LatencyBuckets())
+		}
+		p.alertEdges = reg.Counter("fleet_alert_transitions_total",
+			"SLO alert state transitions (firing and resolving)")
+	}
+	if err := p.initSLO(); err != nil {
+		return nil, err
 	}
 	if cfg.AuditLog != nil {
 		p.audit = core.NewDecisionLog(cfg.AuditLog)
@@ -211,6 +259,7 @@ func New(cfg Config) (*Pool, error) {
 		p.wg.Add(1)
 		go p.shards[i].run()
 	}
+	go p.runSLO()
 	return p, nil
 }
 
@@ -285,6 +334,10 @@ func (p *Pool) submitDurable(s *shard, r ingest.Reading) error {
 		s.slots <- struct{}{}
 	}
 	jsp := p.cfg.Tracer.StartSpan("journal.append", r.Trace)
+	var jStart time.Time
+	if p.journalAppend != nil {
+		jStart = time.Now()
+	}
 	seq, err := s.dur.commit(journalEntry{
 		Deployment: r.Deployment,
 		WireSeq:    r.Seq,
@@ -292,6 +345,9 @@ func (p *Pool) submitDurable(s *shard, r ingest.Reading) error {
 		TimeNS:     int64(r.Time),
 		Values:     r.Values,
 	})
+	if p.journalAppend != nil {
+		p.journalAppend.Observe(time.Since(jStart).Seconds())
+	}
 	jsp.SetInt("seq", int64(seq))
 	jsp.End()
 	if err != nil {
@@ -319,6 +375,7 @@ func (p *Pool) Drain() {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	p.stopSLO()
 	for _, s := range p.shards {
 		close(s.queue)
 	}
@@ -340,6 +397,7 @@ func (p *Pool) abort() {
 	p.closed = true
 	p.aborted.Store(true)
 	p.mu.Unlock()
+	p.stopSLO()
 	for _, s := range p.shards {
 		close(s.queue)
 	}
@@ -379,6 +437,9 @@ type Status struct {
 	Bootstrapped bool `json:"bootstrapped"`
 	// Detector is the counter snapshot (zero until bootstrapped).
 	Detector core.Stats `json:"detector"`
+	// Health is the deployment's drift-telemetry snapshot (nil while
+	// bootstrapping or with health tracking disabled).
+	Health *obs.HealthSnapshot `json:"health,omitempty"`
 	// CheckpointUnix and CheckpointAgeSeconds describe the owning shard's
 	// newest checkpoint (zero with durability off or before the first one).
 	CheckpointUnix       int64   `json:"checkpoint_unix,omitempty"`
@@ -411,6 +472,10 @@ func (p *Pool) Status(deployment string) (Status, error) {
 		st.Bootstrapped = true
 		st.Detector = det.Stats()
 	}
+	if ht := d.healthTracker(); ht != nil {
+		snap := ht.Snapshot()
+		st.Health = &snap
+	}
 	return st, nil
 }
 
@@ -437,9 +502,14 @@ func (p *Pool) Decisions(deployment string) ([]core.DecisionRecord, error) {
 // queue saturation, checkpoint staleness, quarantined deployments, or a
 // drain degrade it.
 type Health struct {
+	// Ready mirrors Status == "ok", so load balancers and probes get a
+	// stable boolean without string-matching.
+	Ready bool `json:"ready"`
 	// Status is "ok" or "degraded".
 	Status string `json:"status"`
-	// Reasons says what degraded the pool (empty when ok).
+	// Reasons says what degraded the pool (empty when ok). Reasons are
+	// always present in the degraded JSON document, so a 503 body reads
+	// {"ready":false,"reasons":[...]} on its own.
 	Reasons []string `json:"reasons,omitempty"`
 	// QueueSaturation is the fullest shard queue as a fraction of capacity.
 	QueueSaturation float64 `json:"queue_saturation"`
@@ -454,7 +524,8 @@ type Health struct {
 
 // Health computes the readiness verdict. Degradation thresholds: any shard
 // queue ≥ 90% full, any quarantined deployment, a checkpoint older than three
-// intervals (interval-based durability only), or a drain in progress.
+// intervals (interval-based durability only), a drifting detector, a firing
+// burn-rate alert, or a drain in progress.
 func (p *Pool) Health() Health {
 	h := Health{Status: "ok"}
 	p.mu.RLock()
@@ -464,24 +535,23 @@ func (p *Pool) Health() Health {
 	if p.cfg.Durability.Dir != "" {
 		interval = p.cfg.Durability.Interval
 	}
+	h.QueueSaturation = p.maxQueueSaturation()
+	h.CheckpointAgeSeconds = p.maxCheckpointAge()
+	var drifting []string
 	for _, s := range p.shards {
-		if sat := float64(len(s.queue)) / float64(cap(s.queue)); sat > h.QueueSaturation {
-			h.QueueSaturation = sat
-		}
-		if u := s.ckptUnix.Load(); u > 0 {
-			if age := time.Since(time.Unix(u, 0)).Seconds(); age > h.CheckpointAgeSeconds {
-				h.CheckpointAgeSeconds = age
-			}
-		}
 		s.mu.RLock()
 		for name, d := range s.deployments {
 			if d.stateName() == StateQuarantined {
 				h.Quarantined = append(h.Quarantined, name)
 			}
+			if d.healthTracker().Drifting() {
+				drifting = append(drifting, name)
+			}
 		}
 		s.mu.RUnlock()
 	}
 	sort.Strings(h.Quarantined)
+	sort.Strings(drifting)
 	if h.QueueSaturation >= 0.9 {
 		h.Reasons = append(h.Reasons, fmt.Sprintf("queue saturation %.0f%%", h.QueueSaturation*100))
 	}
@@ -491,13 +561,47 @@ func (p *Pool) Health() Health {
 	if interval > 0 && h.CheckpointAgeSeconds > 3*interval.Seconds() {
 		h.Reasons = append(h.Reasons, fmt.Sprintf("checkpoint %.0fs old (interval %s)", h.CheckpointAgeSeconds, interval))
 	}
+	if len(drifting) > 0 {
+		h.Reasons = append(h.Reasons, fmt.Sprintf("detector drift on %s", strings.Join(drifting, ", ")))
+	}
+	if p.slo != nil {
+		for _, a := range p.slo.Firing() {
+			h.Reasons = append(h.Reasons, "alert firing: "+a.Name)
+		}
+	}
 	if h.Draining {
 		h.Reasons = append(h.Reasons, "draining")
 	}
 	if len(h.Reasons) > 0 {
 		h.Status = "degraded"
 	}
+	h.Ready = h.Status == "ok"
 	return h
+}
+
+// maxQueueSaturation is the fullest shard queue as a fraction of capacity.
+func (p *Pool) maxQueueSaturation() float64 {
+	var max float64
+	for _, s := range p.shards {
+		if sat := float64(len(s.queue)) / float64(cap(s.queue)); sat > max {
+			max = sat
+		}
+	}
+	return max
+}
+
+// maxCheckpointAge is the age in seconds of the stalest shard checkpoint
+// (zero before the first checkpoint or with durability off).
+func (p *Pool) maxCheckpointAge() float64 {
+	var max float64
+	for _, s := range p.shards {
+		if u := s.ckptUnix.Load(); u > 0 {
+			if age := time.Since(time.Unix(u, 0)).Seconds(); age > max {
+				max = age
+			}
+		}
+	}
+	return max
 }
 
 // Deployments lists every deployment seen, sorted.
@@ -637,6 +741,7 @@ type deployment struct {
 	mu          sync.Mutex
 	det         *core.Shared
 	decisions   *core.DecisionRing // nil when Config.DecisionBuffer is 0
+	health      *obs.HealthTracker // nil when Config.DisableHealth or pre-bootstrap
 	err         error
 	quarantined bool
 }
@@ -646,6 +751,19 @@ func (d *deployment) decisionRing() *core.DecisionRing {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.decisions
+}
+
+// healthTracker returns the deployment's drift tracker under the lock; nil
+// (on which every tracker method is a no-op) while bootstrapping or when
+// health tracking is disabled. Nil receivers are tolerated so callers can
+// chain it off a map probe.
+func (d *deployment) healthTracker() *obs.HealthTracker {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.health
 }
 
 // snapshot returns the detector handle and terminal error under the lock.
@@ -841,6 +959,11 @@ func (s *shard) handle(d *deployment, r ingest.Reading) {
 	if hook := s.pool.cfg.panicOn; hook != nil && hook(r) {
 		panic(fmt.Sprintf("injected fault for deployment %s", r.Deployment))
 	}
+	if hook := s.pool.cfg.stallOn; hook != nil {
+		if ch := hook(r); ch != nil {
+			<-ch
+		}
+	}
 	if d.detW == nil {
 		if !d.started {
 			d.started = true
@@ -881,12 +1004,13 @@ func (s *shard) bootstrap(d *deployment) error {
 	if err != nil {
 		return err
 	}
-	ring := s.wire(d.name, det)
+	ring, ht := s.wire(d.name, det)
 	d.wd = wd
 	shared := core.NewShared(det)
 	d.mu.Lock()
 	d.det = shared
 	d.decisions = ring
+	d.health = ht
 	d.mu.Unlock()
 	d.detW = shared
 	pending := d.pending
@@ -915,10 +1039,11 @@ func (n *namedSink) Record(rec core.DecisionRecord) {
 	}
 }
 
-// wire attaches the pool's tracer and decision sinks to a freshly built or
-// restored detector; it returns the deployment's decision ring (nil when
-// DecisionBuffer is 0).
-func (s *shard) wire(name string, det *core.Detector) *core.DecisionRing {
+// wire attaches the pool's tracer, decision sinks, and health tracker to a
+// freshly built or restored detector; it returns the deployment's decision
+// ring (nil when DecisionBuffer is 0) and health tracker (nil when health
+// tracking is disabled).
+func (s *shard) wire(name string, det *core.Detector) (*core.DecisionRing, *obs.HealthTracker) {
 	cfg := s.pool.cfg
 	det.SetTracer(cfg.Tracer)
 	var ring *core.DecisionRing
@@ -928,7 +1053,12 @@ func (s *shard) wire(name string, det *core.Detector) *core.DecisionRing {
 	if ring != nil || s.pool.audit != nil {
 		det.SetDecisionSink(&namedSink{deployment: name, ring: ring, log: s.pool.audit})
 	}
-	return ring
+	var ht *obs.HealthTracker
+	if !cfg.DisableHealth {
+		ht = obs.NewHealthTracker(cfg.Health)
+		det.SetHealthTracker(ht)
+	}
+	return ring, ht
 }
 
 func (s *shard) feed(d *deployment, r sensor.Reading, tc obs.SpanContext) {

@@ -19,8 +19,11 @@ import (
 //	GET  /status                       pool health + every deployment's status
 //	GET  /deployments                  the deployments seen, as a JSON list
 //	GET  /healthz                      readiness verdict (200 ok / 503 degraded)
+//	GET  /alerts                       live burn-rate alert evaluations
 //	GET  /debug/traces                 recent sampled traces (see obs.Tracer)
 //	GET  /debug/decisions/{deployment} recent decision records, oldest first
+//	GET  /debug/health/{deployment}    drift-telemetry snapshot as JSON
+//	GET  /debug/dashboard              self-contained live ops dashboard
 //	/metrics, /metrics.json, /debug/vars, /debug/pprof  (from obs, reg != nil)
 //
 // reg may be nil, in which case the metrics routes are not mounted. /ingest
@@ -56,10 +59,11 @@ func Handler(p *Pool, reg *obs.Registry) http.Handler {
 	})
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
 		type poolStatus struct {
-			Health      Health   `json:"health"`
-			Deployments []Status `json:"deployments"`
+			Health      Health    `json:"health"`
+			Build       BuildInfo `json:"build"`
+			Deployments []Status  `json:"deployments"`
 		}
-		ps := poolStatus{Health: p.Health(), Deployments: []Status{}}
+		ps := poolStatus{Health: p.Health(), Build: Build(), Deployments: []Status{}}
 		for _, name := range p.Deployments() {
 			if st, err := p.Status(name); err == nil {
 				ps.Deployments = append(ps.Deployments, st)
@@ -80,6 +84,23 @@ func Handler(p *Pool, reg *obs.Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(h)
 	})
+	mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Alerts []obs.Alert `json:"alerts"`
+		}{p.Alerts()})
+	})
+	mux.HandleFunc("GET /debug/health/{deployment}", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := p.HealthSnapshot(r.PathValue("deployment"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, struct {
+			Deployment string             `json:"deployment"`
+			Health     obs.HealthSnapshot `json:"health"`
+		}{r.PathValue("deployment"), snap})
+	})
+	mux.Handle("GET /debug/dashboard", obs.DashboardHandler())
 	mux.Handle("GET /debug/traces", obs.TraceHandler(p.Tracer()))
 	mux.HandleFunc("GET /debug/decisions/{deployment}", func(w http.ResponseWriter, r *http.Request) {
 		recs, err := p.Decisions(r.PathValue("deployment"))

@@ -1,0 +1,203 @@
+package obs
+
+import "net/http"
+
+// DashboardHandler serves the live ops dashboard: one self-contained HTML
+// page whose inline script polls /metrics.json, /alerts, and /status and
+// renders shard queues, ingest rate, burn-rate gauges, per-deployment health
+// sparklines, and recent alerts. No external assets, no build step — the
+// page works from any browser that can reach the fleet's listener.
+func DashboardHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashboardHTML))
+	})
+}
+
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>sensorguard · fleet ops</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>
+:root{
+  --bg:#0e1116;--panel:#161b23;--edge:#232b37;--ink:#d7dde6;--dim:#8b97a7;
+  --ok:#3fb97f;--warn:#e0a93e;--bad:#e05d5d;--accent:#5b9dd9;
+  font-size:14px;
+}
+*{box-sizing:border-box}
+body{margin:0;background:var(--bg);color:var(--ink);
+  font:1rem/1.45 system-ui,-apple-system,"Segoe UI",sans-serif}
+header{display:flex;align-items:baseline;gap:1rem;padding:.9rem 1.4rem;
+  border-bottom:1px solid var(--edge)}
+header h1{font-size:1.1rem;margin:0;font-weight:600}
+header .meta{color:var(--dim);font-size:.85rem}
+#ready{padding:.15rem .6rem;border-radius:99px;font-weight:600;font-size:.8rem}
+#ready.ok{background:rgba(63,185,127,.15);color:var(--ok)}
+#ready.bad{background:rgba(224,93,93,.18);color:var(--bad)}
+main{padding:1.1rem 1.4rem;display:grid;gap:1.1rem;max-width:1200px}
+.tiles{display:grid;grid-template-columns:repeat(auto-fit,minmax(150px,1fr));gap:.8rem}
+.tile{background:var(--panel);border:1px solid var(--edge);border-radius:8px;padding:.7rem .9rem}
+.tile .k{color:var(--dim);font-size:.78rem;text-transform:uppercase;letter-spacing:.04em}
+.tile .v{font-size:1.5rem;font-variant-numeric:tabular-nums;margin-top:.1rem}
+.tile .v.bad{color:var(--bad)} .tile .v.warn{color:var(--warn)}
+section{background:var(--panel);border:1px solid var(--edge);border-radius:8px;padding:.9rem 1rem}
+section h2{margin:0 0 .6rem;font-size:.85rem;color:var(--dim);
+  text-transform:uppercase;letter-spacing:.05em;font-weight:600}
+.bar{height:10px;background:var(--edge);border-radius:5px;overflow:hidden;margin:.25rem 0}
+.bar i{display:block;height:100%;background:var(--accent);transition:width .4s}
+.bar i.warn{background:var(--warn)} .bar i.bad{background:var(--bad)}
+.row{display:grid;grid-template-columns:11rem 1fr 5.5rem;gap:.8rem;align-items:center;
+  font-variant-numeric:tabular-nums}
+.row .n{color:var(--dim);overflow:hidden;text-overflow:ellipsis;white-space:nowrap}
+.row .x{text-align:right;color:var(--dim);font-size:.85rem}
+table{width:100%;border-collapse:collapse;font-variant-numeric:tabular-nums}
+th{color:var(--dim);font-size:.78rem;text-transform:uppercase;letter-spacing:.04em;
+  text-align:left;font-weight:600;padding:.25rem .5rem;border-bottom:1px solid var(--edge)}
+td{padding:.35rem .5rem;border-bottom:1px solid var(--edge)}
+tr:last-child td{border-bottom:0}
+.pill{padding:.1rem .5rem;border-radius:99px;font-size:.78rem;font-weight:600}
+.pill.ok{background:rgba(63,185,127,.15);color:var(--ok)}
+.pill.warn{background:rgba(224,169,62,.16);color:var(--warn)}
+.pill.bad{background:rgba(224,93,93,.18);color:var(--bad)}
+svg.spark{display:block}
+.empty{color:var(--dim);font-style:italic}
+#err{color:var(--bad);font-size:.85rem;padding:.2rem 1.4rem;display:none}
+</style>
+</head>
+<body>
+<header>
+  <h1>sensorguard fleet</h1>
+  <span id="ready" class="ok">—</span>
+  <span class="meta" id="build"></span>
+  <span class="meta" id="updated"></span>
+</header>
+<div id="err"></div>
+<main>
+  <div class="tiles" id="tiles"></div>
+  <section><h2>Burn-rate alerts</h2><div id="alerts" class="empty">loading…</div></section>
+  <section><h2>Shard queues</h2><div id="shards" class="empty">loading…</div></section>
+  <section><h2>Deployments</h2><div id="deps" class="empty">loading…</div></section>
+</main>
+<script>
+"use strict";
+const $=id=>document.getElementById(id);
+const esc=s=>String(s).replace(/[&<>"]/g,c=>({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+let prev=null; // {t, readings} for ingest-rate delta
+
+function fmt(n,d){return n==null?"—":Number(n).toFixed(d==null?0:d)}
+
+function tile(k,v,cls){return '<div class="tile"><div class="k">'+esc(k)+
+  '</div><div class="v '+(cls||"")+'">'+v+"</div></div>"}
+
+function barCls(f){return f>=.9?"bad":f>=.6?"warn":""}
+
+function spark(vals,max){
+  if(!vals||!vals.length)return "";
+  const W=120,H=24,m=Math.max(max||0,...vals,1e-9);
+  const pts=vals.map((v,i)=>((i*(W-2)/Math.max(vals.length-1,1))+1).toFixed(1)+","+
+    (H-1-(v/m)*(H-2)).toFixed(1)).join(" ");
+  return '<svg class="spark" width="'+W+'" height="'+H+'" viewBox="0 0 '+W+" "+H+'">'+
+    '<polyline points="'+pts+'" fill="none" stroke="#5b9dd9" stroke-width="1.5"/></svg>';
+}
+
+function renderTiles(status,metrics){
+  const h=status.health||{};
+  let rate="—";
+  const readings=metrics["fleet_readings_total"];
+  const now=Date.now();
+  if(prev&&readings!=null&&now>prev.t){
+    rate=fmt((readings-prev.readings)/((now-prev.t)/1000),0)+"/s";
+  }
+  if(readings!=null)prev={t:now,readings:readings};
+  const sat=h.queue_saturation||0;
+  const deps=(status.deployments||[]);
+  const drifting=deps.filter(d=>d.health&&d.health.drifting).length;
+  $("tiles").innerHTML=
+    tile("Ingest rate",rate)+
+    tile("Deployments",deps.length)+
+    tile("Queue saturation",fmt(sat*100,0)+"%",barCls(sat))+
+    tile("Checkpoint age",h.checkpoint_age_seconds?fmt(h.checkpoint_age_seconds,0)+"s":"—",
+      h.checkpoint_age_seconds>300?"warn":"")+
+    tile("Drifting",drifting,drifting>0?"bad":"")+
+    tile("Quarantined",(h.quarantined||[]).length,(h.quarantined||[]).length?"bad":"");
+}
+
+function renderAlerts(alerts){
+  if(!alerts.length){$("alerts").innerHTML='<span class="empty">no SLOs registered</span>';return}
+  $("alerts").innerHTML=alerts.map(a=>{
+    const firing=a.state==="firing";
+    const frac=Math.min(a.fast_burn/(a.burn_threshold||1),1.5)/1.5;
+    return '<div class="row"><span class="n"><span class="pill '+(firing?"bad":"ok")+'">'+
+      (firing?"FIRING":"ok")+"</span> "+esc(a.name)+'</span>'+
+      '<span class="bar"><i class="'+(firing?"bad":barCls(frac))+'" style="width:'+
+      (frac*100).toFixed(0)+'%"></i></span>'+
+      '<span class="x">'+fmt(a.fast_burn,2)+"× / "+fmt(a.slow_burn,2)+"×</span></div>";
+  }).join("");
+}
+
+function renderShards(metrics){
+  const rows=[];
+  for(const k of Object.keys(metrics).sort()){
+    const m=k.match(/^fleet_shard(\d+)_queue_depth$/);
+    if(!m)continue;
+    const depth=metrics[k];
+    // Queue capacity is not exported; scale against the fleet max depth.
+    rows.push({shard:m[1],depth:depth});
+  }
+  if(!rows.length){$("shards").innerHTML='<span class="empty">no shard metrics</span>';return}
+  const max=Math.max(...rows.map(r=>r.depth),1);
+  $("shards").innerHTML=rows.map(r=>'<div class="row"><span class="n">shard '+r.shard+
+    '</span><span class="bar"><i class="'+barCls(r.depth/max)+'" style="width:'+
+    (100*r.depth/max).toFixed(0)+'%"></i></span><span class="x">'+fmt(r.depth)+"</span></div>").join("");
+}
+
+function renderDeps(status){
+  const deps=status.deployments||[];
+  if(!deps.length){$("deps").innerHTML='<span class="empty">no deployments yet</span>';return}
+  $("deps").innerHTML="<table><tr><th>deployment</th><th>state</th><th>windows</th>"+
+    "<th>filtered rate</th><th>health (64w)</th><th>verdict</th></tr>"+
+    deps.map(d=>{
+      const h=d.health||{};
+      const stCls=d.state==="running"?"ok":d.state==="bootstrapping"?"warn":"bad";
+      const verdict=h.drifting?'<span class="pill bad">drifting</span>'
+        :d.bootstrapped?'<span class="pill ok">healthy</span>':"—";
+      return "<tr><td>"+esc(d.deployment)+'</td><td><span class="pill '+stCls+'">'+
+        esc(d.state)+"</span></td><td>"+fmt((d.detector||{}).Steps)+"</td><td>"+
+        fmt(h.filtered_alarm_rate,3)+"</td><td>"+spark(h.spark,0.3)+"</td><td>"+
+        verdict+(h.reasons&&h.reasons.length?' <span class="x">'+esc(h.reasons[0])+"</span>":"")+
+        "</td></tr>";
+    }).join("")+"</table>";
+}
+
+async function poll(){
+  try{
+    const[metrics,alertsDoc,status]=await Promise.all([
+      fetch("/metrics.json").then(r=>r.ok?r.json():{}),
+      fetch("/alerts").then(r=>r.ok?r.json():{alerts:[]}),
+      fetch("/status").then(r=>r.json()),
+    ]);
+    const h=status.health||{};
+    const ready=$("ready");
+    ready.textContent=h.status||"?";
+    ready.className=h.status==="ok"?"ok":"bad";
+    if(status.build)$("build").textContent=status.build.version+
+      (status.build.revision?" @ "+status.build.revision.slice(0,9):"");
+    $("updated").textContent="updated "+new Date().toLocaleTimeString();
+    renderTiles(status,metrics);
+    renderAlerts(alertsDoc.alerts||[]);
+    renderShards(metrics);
+    renderDeps(status);
+    $("err").style.display="none";
+  }catch(e){
+    $("err").textContent="poll failed: "+e;
+    $("err").style.display="block";
+  }
+}
+poll();
+setInterval(poll,2000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDashboardHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	DashboardHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/dashboard", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	// The page must be self-contained (no external assets) and poll the
+	// three live endpoints.
+	for _, want := range []string{"/metrics.json", "/alerts", "/status", "<script>", "sensorguard"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+	for _, banned := range []string{"src=\"http", "href=\"http", "@import", "cdn."} {
+		if strings.Contains(body, banned) {
+			t.Fatalf("dashboard references external asset: %q", banned)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the detector-health half of the observability layer: a
+// per-deployment rolling tracker that turns the pipeline's per-window
+// evidence (alarm counts, cluster churn, track symbols) and its periodically
+// polled model evidence (B^CO orthogonality, Markov transition-mass shift)
+// into a drift verdict an operator — or an SLO — can consume. The split
+// matters for cost: ObserveWindow is called on the detector step path and is
+// pure arithmetic (no allocation); SetDrift carries the expensive model
+// inspection and is fed by a background poller off the hot path.
+
+// HealthSample is one window's worth of cheap detector health inputs. The
+// producer (core.Detector) fills it from quantities it already computed, so
+// building a sample costs a few integer reads.
+type HealthSample struct {
+	// Window is the detector's window ordinal.
+	Window int
+	// Skipped reports a window rejected for insufficient sensors.
+	Skipped bool
+	// Sensors is the number of sensors observed this window.
+	Sensors int
+	// RawAlarms and FilteredAlarms count per-sensor alarms this window,
+	// before and after k-of-n temporal filtering.
+	RawAlarms, FilteredAlarms int
+	// TrackSymbols counts diagnosis symbols recorded on open tracks this
+	// window; TrackBottoms counts how many were ⊥ (sensor agreed with the
+	// network — the healthy symbol).
+	TrackSymbols, TrackBottoms int
+	// Spawns and Merges count cluster model events this window.
+	Spawns, Merges int
+	// OpenTracks is the number of diagnosis tracks open after this window.
+	OpenTracks int
+}
+
+// ModelDrift is the polled (heavyweight) model-drift evidence for one
+// detector: how close the learned B^CO is to losing the orthogonality the
+// paper's §3.4 diagnosis depends on, and how far the M_C/M_O transition
+// structure has wandered from its bootstrap baseline.
+type ModelDrift struct {
+	// OrthoMaxDot is the largest off-diagonal row dot product of B^CO
+	// (0 = perfectly orthogonal rows).
+	OrthoMaxDot float64 `json:"ortho_max_dot"`
+	// OrthoMargin is threshold − OrthoMaxDot: the remaining headroom
+	// before row orthogonality is violated. Negative means violated.
+	OrthoMargin float64 `json:"ortho_margin"`
+	// MCShift and MOShift are the mean L1 transition-mass shifts of the
+	// correct-model and observable-model chains vs. the baseline captured
+	// after bootstrap, halved into [0, 1] (0 = identical, 1 = disjoint).
+	MCShift float64 `json:"mc_shift"`
+	MOShift float64 `json:"mo_shift"`
+	// BaselineWindow is the window ordinal the baseline was captured at
+	// (0 = no baseline yet, shifts not meaningful).
+	BaselineWindow int `json:"baseline_window"`
+}
+
+// HealthConfig sets the tracker's smoothing and drift thresholds. The zero
+// value selects the defaults noted per field.
+type HealthConfig struct {
+	// Alpha is the EWMA smoothing factor for per-window rates (default
+	// 0.05 ≈ a 20-window memory).
+	Alpha float64
+	// ChurnWindow is the fixed window, in detector windows, over which
+	// cluster churn is counted (default 64).
+	ChurnWindow int
+	// MaxFilteredRate: EWMA filtered-alarm rate (alarms per sensor-window)
+	// above this is drift (default 0.25).
+	MaxFilteredRate float64
+	// MaxRawRate: EWMA raw-alarm rate above this is drift (default 0.5).
+	MaxRawRate float64
+	// MaxChurn: spawn+merge events per ChurnWindow above this is drift
+	// (default 6).
+	MaxChurn int
+	// MinOrthoMargin: polled orthogonality margin below this is drift
+	// (default 0.05).
+	MinOrthoMargin float64
+	// MaxShift: polled M_C/M_O transition-mass shift above this is drift
+	// (default 0.35).
+	MaxShift float64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.05
+	}
+	if c.ChurnWindow <= 0 {
+		c.ChurnWindow = 64
+	}
+	if c.MaxFilteredRate <= 0 {
+		c.MaxFilteredRate = 0.25
+	}
+	if c.MaxRawRate <= 0 {
+		c.MaxRawRate = 0.5
+	}
+	if c.MaxChurn <= 0 {
+		c.MaxChurn = 6
+	}
+	if c.MinOrthoMargin <= 0 {
+		c.MinOrthoMargin = 0.05
+	}
+	if c.MaxShift <= 0 {
+		c.MaxShift = 0.35
+	}
+	return c
+}
+
+// sparkLen is the number of recent windows retained for dashboard sparklines.
+const sparkLen = 64
+
+// ChurnStats is cluster-event churn over the tracker's fixed window.
+type ChurnStats struct {
+	Spawns int `json:"spawns"`
+	Merges int `json:"merges"`
+	// Windows is how many detector windows the counts cover (≤ the
+	// configured churn window until enough history accumulates).
+	Windows int `json:"windows"`
+}
+
+// HealthSnapshot is the tracker's exported state, served per-deployment on
+// /debug/health/{deployment} and rolled up on /status.
+type HealthSnapshot struct {
+	// Windows is the number of (non-skipped) windows observed.
+	Windows int `json:"windows"`
+	// SkippedWindows counts windows rejected for insufficient sensors.
+	SkippedWindows int `json:"skipped_windows"`
+	// RawAlarmRate and FilteredAlarmRate are EWMA alarms per sensor-window.
+	RawAlarmRate      float64 `json:"raw_alarm_rate"`
+	FilteredAlarmRate float64 `json:"filtered_alarm_rate"`
+	// BottomFraction is the EWMA fraction of track symbols that were ⊥
+	// (1 = every tracked sensor agrees with the network).
+	BottomFraction float64 `json:"bottom_fraction"`
+	// OpenTracks is the open diagnosis track count after the last window.
+	OpenTracks int `json:"open_tracks"`
+	// Churn is cluster spawn/merge churn over the churn window.
+	Churn ChurnStats `json:"churn"`
+	// Drift is the latest polled model-drift evidence.
+	Drift ModelDrift `json:"drift"`
+	// DriftUpdatedAt is when Drift was last refreshed (zero = never).
+	DriftUpdatedAt time.Time `json:"drift_updated_at"`
+	// Drifting is the tracker's verdict: at least one reason is present.
+	Drifting bool `json:"drifting"`
+	// Reasons lists every threshold currently exceeded.
+	Reasons []string `json:"reasons,omitempty"`
+	// Spark is the filtered-alarm-rate EWMA over the most recent windows,
+	// oldest first — the dashboard sparkline.
+	Spark []float64 `json:"spark,omitempty"`
+}
+
+// HealthTracker accumulates HealthSamples into rolling health state. Safe
+// for concurrent use: the step path calls ObserveWindow while pollers call
+// SetDrift and Snapshot. ObserveWindow allocates nothing.
+type HealthTracker struct {
+	cfg HealthConfig
+
+	mu             sync.Mutex
+	windows        int
+	skipped        int
+	rawRate        float64 // EWMA raw alarms per sensor-window
+	filteredRate   float64 // EWMA filtered alarms per sensor-window
+	bottomFrac     float64 // EWMA ⊥ fraction of track symbols
+	sawSymbols     bool
+	openTracks     int
+	churnSpawns    int
+	churnMerges    int
+	churnStart     int // window count when the churn window began
+	prevSpawns     int // previous churn window totals (for smooth reads)
+	prevMerges     int
+	prevWindows    int
+	drift          ModelDrift
+	driftAt        time.Time
+	spark          [sparkLen]float64
+	sparkN         int // total sparkline points written (ring position)
+}
+
+// NewHealthTracker builds a tracker with cfg (zero value = defaults).
+func NewHealthTracker(cfg HealthConfig) *HealthTracker {
+	return &HealthTracker{cfg: cfg.withDefaults()}
+}
+
+// ObserveWindow folds one window's sample into the rolling state. Nil-safe
+// and allocation-free — it sits on the detector step path.
+func (t *HealthTracker) ObserveWindow(s HealthSample) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.Skipped {
+		t.skipped++
+		return
+	}
+	t.windows++
+	a := t.cfg.Alpha
+	if s.Sensors > 0 {
+		raw := float64(s.RawAlarms) / float64(s.Sensors)
+		filtered := float64(s.FilteredAlarms) / float64(s.Sensors)
+		if t.windows == 1 {
+			t.rawRate, t.filteredRate = raw, filtered
+		} else {
+			t.rawRate += a * (raw - t.rawRate)
+			t.filteredRate += a * (filtered - t.filteredRate)
+		}
+	}
+	if s.TrackSymbols > 0 {
+		frac := float64(s.TrackBottoms) / float64(s.TrackSymbols)
+		if !t.sawSymbols {
+			t.bottomFrac = frac
+			t.sawSymbols = true
+		} else {
+			t.bottomFrac += a * (frac - t.bottomFrac)
+		}
+	}
+	t.openTracks = s.OpenTracks
+	t.churnSpawns += s.Spawns
+	t.churnMerges += s.Merges
+	if t.windows-t.churnStart >= t.cfg.ChurnWindow {
+		t.prevSpawns, t.prevMerges = t.churnSpawns, t.churnMerges
+		t.prevWindows = t.windows - t.churnStart
+		t.churnSpawns, t.churnMerges = 0, 0
+		t.churnStart = t.windows
+	}
+	t.spark[t.sparkN%sparkLen] = t.filteredRate
+	t.sparkN++
+}
+
+// SetDrift records polled model-drift evidence. Nil-safe.
+func (t *HealthTracker) SetDrift(d ModelDrift, at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.drift = d
+	t.driftAt = at
+	t.mu.Unlock()
+}
+
+// churn returns the current churn counts: the completed previous window if
+// one exists and the live window is young, else the live window.
+func (t *HealthTracker) churn() ChurnStats {
+	live := ChurnStats{Spawns: t.churnSpawns, Merges: t.churnMerges, Windows: t.windows - t.churnStart}
+	if t.prevWindows == 0 {
+		return live
+	}
+	// Report whichever window is worse, so a churn burst is visible both
+	// while it accumulates and for a full window after it rolls over.
+	prev := ChurnStats{Spawns: t.prevSpawns, Merges: t.prevMerges, Windows: t.prevWindows}
+	if live.Spawns+live.Merges >= prev.Spawns+prev.Merges {
+		return live
+	}
+	return prev
+}
+
+// Snapshot returns the current health state and verdict. Nil trackers return
+// a zero snapshot.
+func (t *HealthTracker) Snapshot() HealthSnapshot {
+	if t == nil {
+		return HealthSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := HealthSnapshot{
+		Windows:           t.windows,
+		SkippedWindows:    t.skipped,
+		RawAlarmRate:      t.rawRate,
+		FilteredAlarmRate: t.filteredRate,
+		OpenTracks:        t.openTracks,
+		Churn:             t.churn(),
+		Drift:             t.drift,
+		DriftUpdatedAt:    t.driftAt,
+	}
+	if t.sawSymbols {
+		// BottomFraction only means anything once symbols were recorded.
+		snap.BottomFraction = t.bottomFrac
+	} else {
+		snap.BottomFraction = 1
+	}
+	n := t.sparkN
+	if n > sparkLen {
+		n = sparkLen
+	}
+	snap.Spark = make([]float64, n)
+	for i := 0; i < n; i++ {
+		snap.Spark[i] = t.spark[(t.sparkN-n+i)%sparkLen]
+	}
+	snap.Reasons = t.reasons()
+	snap.Drifting = len(snap.Reasons) > 0
+	return snap
+}
+
+// Drifting reports the verdict without building the full snapshot — the form
+// the SLO probe calls once per tick. Nil-safe.
+func (t *HealthTracker) Drifting() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.reasons()) > 0
+}
+
+// reasons evaluates every drift threshold. Callers hold t.mu.
+func (t *HealthTracker) reasons() []string {
+	var out []string
+	if t.windows == 0 {
+		return nil
+	}
+	if t.filteredRate > t.cfg.MaxFilteredRate {
+		out = append(out, "filtered alarm rate above threshold")
+	}
+	if t.rawRate > t.cfg.MaxRawRate {
+		out = append(out, "raw alarm rate above threshold")
+	}
+	if c := t.churn(); c.Spawns+c.Merges > t.cfg.MaxChurn {
+		out = append(out, "cluster churn above threshold")
+	}
+	if t.drift.BaselineWindow > 0 {
+		if t.drift.OrthoMargin < t.cfg.MinOrthoMargin {
+			out = append(out, "B^CO orthogonality margin below threshold")
+		}
+		if t.drift.MCShift > t.cfg.MaxShift {
+			out = append(out, "M_C transition mass shifted from baseline")
+		}
+		if t.drift.MOShift > t.cfg.MaxShift {
+			out = append(out, "M_O transition mass shifted from baseline")
+		}
+	}
+	return out
+}

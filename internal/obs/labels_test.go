@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSplitMetricName(t *testing.T) {
+	cases := []struct{ in, base, labels string }{
+		{"plain_name", "plain_name", ""},
+		{`m{deployment="a"}`, "m", `deployment="a"`},
+		{`m{a="1",b="2"}`, "m", `a="1",b="2"`},
+		{"dangling{", "dangling{", ""}, // malformed: treated as plain
+	}
+	for _, c := range cases {
+		base, labels := SplitMetricName(c.in)
+		if base != c.base || labels != c.labels {
+			t.Fatalf("SplitMetricName(%q) = %q, %q; want %q, %q", c.in, base, labels, c.base, c.labels)
+		}
+	}
+}
+
+func TestWritePrometheusLabeledSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge(`fleet_drifting{deployment="b"}`, "per-deployment drift flag").Set(1)
+	reg.Gauge(`fleet_drifting{deployment="a"}`, "per-deployment drift flag").Set(0)
+	// A name that collates between the base and its labeled variants must
+	// not break series grouping.
+	reg.Gauge("fleet_drifting_total", "").Set(2)
+	reg.Histogram(`lat{shard="0"}`, "labeled latency", []float64{0.1}).Observe(0.05)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+
+	if got := strings.Count(out, "# TYPE fleet_drifting gauge"); got != 1 {
+		t.Fatalf("fleet_drifting TYPE header count = %d, want 1\n%s", got, out)
+	}
+	if !strings.Contains(out, `fleet_drifting{deployment="a"} 0`) ||
+		!strings.Contains(out, `fleet_drifting{deployment="b"} 1`) {
+		t.Fatalf("labeled gauge lines missing:\n%s", out)
+	}
+	// Both series must sit directly under the shared header.
+	idx := strings.Index(out, "# TYPE fleet_drifting gauge")
+	block := out[idx:]
+	if end := strings.Index(block, "# "); end > 0 {
+		if more := strings.Index(block[2:], "# "); more > 0 {
+			block = block[:more+2]
+		}
+	}
+	if !strings.Contains(block, `deployment="a"`) || !strings.Contains(block, `deployment="b"`) {
+		t.Fatalf("labeled series not grouped under one header:\n%s", out)
+	}
+	// Histogram labels merge with le on bucket lines and carry to sum/count.
+	for _, want := range []string{
+		`lat_bucket{shard="0",le="0.1"} 1`,
+		`lat_bucket{shard="0",le="+Inf"} 1`,
+		`lat_sum{shard="0"} 0.05`,
+		`lat_count{shard="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryEncodeUnderConcurrentUpdates hammers a registry from writer
+// goroutines while encoders run, pinning (under -race) that encoding holds
+// no torn reads and that every encoded histogram is internally consistent:
+// bucket counts are cumulative non-decreasing and the +Inf count equals the
+// total count.
+func TestRegistryEncodeUnderConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits_total", "")
+	g := reg.Gauge("depth", "")
+	h := reg.Histogram("lat_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	hl := reg.Histogram(`lat_seconds_sharded{shard="3"}`, "", []float64{0.001, 0.01, 0.1, 1})
+
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			v := float64(seed)
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				g.Set(v)
+				h.Observe(0.0005 * v)
+				hl.Observe(0.02)
+				v += 0.17
+				if v > 2 {
+					v = 0
+				}
+			}
+		}(i + 1)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var lastCount uint64
+	encoding := true
+	for encoding {
+		select {
+		case <-done:
+			encoding = false
+		default:
+		}
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		if err := reg.WriteJSON(&sb); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		// Snapshots must never go backwards or overshoot the writers.
+		snap := h.Snapshot()
+		if snap.Count < lastCount {
+			t.Fatalf("histogram count went backwards: %d -> %d", lastCount, snap.Count)
+		}
+		if snap.Count > writers*perWriter {
+			t.Fatalf("histogram count %d exceeds writes %d", snap.Count, writers*perWriter)
+		}
+		lastCount = snap.Count
+	}
+
+	// After the writers finish, every metric must account for exactly the
+	// writes issued — nothing torn, nothing lost.
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	for _, hist := range []*Histogram{h, hl} {
+		snap := hist.Snapshot()
+		var cum uint64
+		for _, n := range snap.Counts {
+			cum += n
+		}
+		if cum != writers*perWriter || snap.Count != cum {
+			t.Fatalf("final snapshot inconsistent: cum %d count %d want %d", cum, snap.Count, writers*perWriter)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -260,47 +261,100 @@ func (r *Registry) names() []string {
 	return out
 }
 
+// SplitMetricName splits a registered name into its base name and label
+// body: "fleet_drifting{deployment=\"a\"}" → ("fleet_drifting",
+// "deployment=\"a\""). Names without a label suffix return an empty body.
+func SplitMetricName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// series renders a sample name for the text exposition format: base plus the
+// merged label body (extra is appended after labels when both are present).
+func series(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
+}
+
 // WritePrometheus encodes every metric in the Prometheus text exposition
-// format (version 0.0.4), sorted by name.
+// format (version 0.0.4). Labeled series (names registered with a
+// `{k="v"}` suffix) are grouped under a single HELP/TYPE header per base
+// name, as the format requires.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for _, name := range r.names() {
+	names := r.names()
+	// Group label variants under their base name: sort by (base, full name)
+	// so every series of one metric is contiguous regardless of how `{`
+	// collates against other name characters.
+	sort.Slice(names, func(i, j int) bool {
+		bi, _ := SplitMetricName(names[i])
+		bj, _ := SplitMetricName(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return names[i] < names[j]
+	})
+	lastBase := ""
+	for _, name := range names {
+		base, labels := SplitMetricName(name)
+		newBase := base != lastBase
+		lastBase = base
 		if c, ok := r.counters[name]; ok {
-			if err := writeHeader(w, name, c.help, "counter"); err != nil {
-				return err
+			if newBase {
+				if err := writeHeader(w, base, c.help, "counter"); err != nil {
+					return err
+				}
 			}
-			if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", series(base, labels, ""), c.Value()); err != nil {
 				return err
 			}
 			continue
 		}
 		if g, ok := r.gauges[name]; ok {
-			if err := writeHeader(w, name, g.help, "gauge"); err != nil {
-				return err
+			if newBase {
+				if err := writeHeader(w, base, g.help, "gauge"); err != nil {
+					return err
+				}
 			}
-			if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value())); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", series(base, labels, ""), formatFloat(g.Value())); err != nil {
 				return err
 			}
 			continue
 		}
 		h := r.histograms[name]
-		if err := writeHeader(w, name, h.help, "histogram"); err != nil {
-			return err
+		if newBase {
+			if err := writeHeader(w, base, h.help, "histogram"); err != nil {
+				return err
+			}
 		}
 		snap := h.Snapshot()
 		var cum uint64
 		for i, bound := range snap.Bounds {
 			cum += snap.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+			le := fmt.Sprintf("le=%q", formatFloat(bound))
+			if _, err := fmt.Fprintf(w, "%s %d\n", series(base+"_bucket", labels, le), cum); err != nil {
 				return err
 			}
 		}
 		cum += snap.Counts[len(snap.Counts)-1]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(base+"_bucket", labels, `le="+Inf"`), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(snap.Sum), name, snap.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+			series(base+"_sum", labels, ""), formatFloat(snap.Sum),
+			series(base+"_count", labels, ""), snap.Count); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the alerting half of the observability layer: declarative SLO
+// specs evaluated with multi-window burn-rate alerting (the Google SRE
+// workbook shape). Each SLO watches a cumulative good/bad event source; an
+// alert fires when the error budget burns faster than the spec's threshold
+// over BOTH a fast and a slow window — the fast window catches the onset, the
+// slow window suppresses blips — and resolves only after the fast window has
+// stayed quiet for a hysteresis interval, so a flapping signal does not flap
+// the alert.
+
+// SLOSpec declares one service-level objective and its burn-rate alert.
+type SLOSpec struct {
+	// Name identifies the SLO (and its alert) — e.g. "queue-saturation".
+	Name string `json:"name"`
+	// Description is the operator-facing summary of what is burning.
+	Description string `json:"description"`
+	// Severity labels the alert's urgency: "page" or "ticket" (free-form —
+	// the engine does not interpret it).
+	Severity string `json:"severity"`
+	// Budget is the error budget: the allowed bad fraction of events over
+	// the SLO period (e.g. 0.001 = 99.9% objective). Must be in (0, 1).
+	Budget float64 `json:"budget"`
+	// Fast and Slow are the two burn-rate windows (e.g. 5m and 1h). The
+	// alert fires only when the burn rate exceeds Burn over both.
+	Fast time.Duration `json:"fast_ns"`
+	Slow time.Duration `json:"slow_ns"`
+	// Burn is the burn-rate threshold: bad-fraction / Budget. A burn rate
+	// of 1 exhausts the budget exactly over the SLO period; 14.4 exhausts
+	// a 30-day budget in 50 hours (the classic page threshold).
+	Burn float64 `json:"burn"`
+	// ClearAfter is the resolve hysteresis: the alert resolves only after
+	// the fast-window burn rate stays below Burn for this long. Defaults
+	// to Fast when zero.
+	ClearAfter time.Duration `json:"clear_after_ns"`
+}
+
+func (s SLOSpec) withDefaults() SLOSpec {
+	if s.ClearAfter <= 0 {
+		s.ClearAfter = s.Fast
+	}
+	return s
+}
+
+func (s SLOSpec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("obs: SLO spec missing name")
+	}
+	if !(s.Budget > 0 && s.Budget < 1) {
+		return fmt.Errorf("obs: SLO %q budget %v not in (0,1)", s.Name, s.Budget)
+	}
+	if s.Fast <= 0 || s.Slow <= 0 || s.Slow < s.Fast {
+		return fmt.Errorf("obs: SLO %q windows fast=%v slow=%v invalid", s.Name, s.Fast, s.Slow)
+	}
+	if s.Burn <= 0 {
+		return fmt.Errorf("obs: SLO %q burn threshold %v not positive", s.Name, s.Burn)
+	}
+	return nil
+}
+
+// SLOSource reports cumulative good/bad event totals for one SLO. Totals are
+// expected to be monotonically non-decreasing; the engine tolerates resets
+// (process restart zeroing a counter) by clamping negative deltas to zero.
+// Called from the engine's Tick goroutine only.
+type SLOSource func() (good, bad uint64)
+
+// ThresholdSource adapts an instantaneous gauge probe into an SLOSource: each
+// call contributes one event, bad when the probed value exceeds threshold.
+// Useful for saturation/staleness SLOs where "bad" is time spent over a line
+// rather than a per-request outcome.
+func ThresholdSource(probe func() float64, threshold float64) SLOSource {
+	var good, bad uint64
+	return func() (uint64, uint64) {
+		if probe() > threshold {
+			bad++
+		} else {
+			good++
+		}
+		return good, bad
+	}
+}
+
+// HistogramLatencySource adapts a latency histogram into an SLOSource: good
+// is the count of observations at or below bound (rounded up to the nearest
+// bucket boundary), bad is the rest. Nil histograms yield a permanently
+// empty source.
+func HistogramLatencySource(h *Histogram, bound float64) SLOSource {
+	return func() (uint64, uint64) {
+		if h == nil {
+			return 0, 0
+		}
+		snap := h.Snapshot()
+		var below uint64
+		for i, b := range snap.Bounds {
+			if b > bound {
+				break
+			}
+			below += snap.Counts[i]
+		}
+		return below, snap.Count - below
+	}
+}
+
+// AlertState is the lifecycle state of one SLO's alert.
+type AlertState string
+
+const (
+	// AlertOK: the alert has never fired, or fired and fully resolved.
+	AlertOK AlertState = "ok"
+	// AlertFiring: both burn windows are (or recently were) over threshold.
+	AlertFiring AlertState = "firing"
+)
+
+// Alert is the live evaluation of one SLO, served on /alerts.
+type Alert struct {
+	Name        string     `json:"name"`
+	Description string     `json:"description,omitempty"`
+	Severity    string     `json:"severity,omitempty"`
+	State       AlertState `json:"state"`
+	// Since is when the alert entered its current state (zero until the
+	// first transition).
+	Since time.Time `json:"since"`
+	// FastBurn and SlowBurn are the current burn rates over each window
+	// (1.0 = burning the budget exactly at the sustainable rate).
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	// Budget and Burn echo the spec for dashboard rendering.
+	Budget float64 `json:"budget"`
+	Burn   float64 `json:"burn_threshold"`
+}
+
+// sloSample is one Tick's cumulative reading.
+type sloSample struct {
+	at        time.Time
+	good, bad uint64 // reset-adjusted cumulative totals
+}
+
+// sloState is the engine's per-SLO evaluation state.
+type sloState struct {
+	spec SLOSpec
+	src  SLOSource
+
+	samples []sloSample // time-ordered ring covering the slow window
+	// reset adjustment: offsets added to raw source totals so adjusted
+	// totals stay monotone across counter resets.
+	baseGood, baseBad uint64
+	lastGood, lastBad uint64
+	seeded            bool
+
+	firing    bool
+	since     time.Time
+	lastAbove time.Time // last tick the fast window was over threshold
+	fast, slo float64   // latest burn rates
+}
+
+// SLOEngine evaluates registered SLOs on each Tick and tracks alert state.
+// Safe for concurrent use; Tick is typically driven by one background
+// goroutine while HTTP handlers read Alerts.
+type SLOEngine struct {
+	mu   sync.Mutex
+	slos []*sloState
+	// OnTransition, when set before the first Tick, is invoked (outside the
+	// engine lock) for every firing/resolved edge — the hook the fleet uses
+	// to emit alert events and structured log lines.
+	OnTransition func(Alert)
+}
+
+// NewSLOEngine returns an empty engine.
+func NewSLOEngine() *SLOEngine { return &SLOEngine{} }
+
+// Register adds one SLO backed by src. Duplicate names are rejected.
+func (e *SLOEngine) Register(spec SLOSpec, src SLOSource) error {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if src == nil {
+		return fmt.Errorf("obs: SLO %q has nil source", spec.Name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.slos {
+		if s.spec.Name == spec.Name {
+			return fmt.Errorf("obs: SLO %q already registered", spec.Name)
+		}
+	}
+	e.slos = append(e.slos, &sloState{spec: spec, src: src})
+	return nil
+}
+
+// Tick samples every source at now and re-evaluates alert state. now must be
+// non-decreasing across calls (the production driver passes time.Now; tests
+// pass a synthetic clock).
+func (e *SLOEngine) Tick(now time.Time) {
+	e.mu.Lock()
+	var edges []Alert
+	hook := e.OnTransition
+	for _, s := range e.slos {
+		if alert, edge := s.tick(now); edge && hook != nil {
+			edges = append(edges, alert)
+		}
+	}
+	e.mu.Unlock()
+	for _, a := range edges {
+		hook(a)
+	}
+}
+
+// tick advances one SLO. Returns the alert view and whether a state edge
+// (firing↔resolved) happened.
+func (s *sloState) tick(now time.Time) (Alert, bool) {
+	rawGood, rawBad := s.src()
+	if !s.seeded {
+		// Origin sample: totals are measured from zero at engine start,
+		// so events on the very first tick already count as burn-rate
+		// evidence instead of vanishing into a missing baseline.
+		s.samples = append(s.samples, sloSample{at: now})
+		s.seeded = true
+	} else {
+		// Counter reset tolerance: a raw total that went backwards means
+		// the source restarted; fold the lost history into the base so
+		// adjusted totals stay monotone and the delta over the reset tick
+		// reads as zero, not a huge negative.
+		if rawGood < s.lastGood {
+			s.baseGood += s.lastGood
+		}
+		if rawBad < s.lastBad {
+			s.baseBad += s.lastBad
+		}
+	}
+	s.lastGood, s.lastBad = rawGood, rawBad
+	sample := sloSample{at: now, good: s.baseGood + rawGood, bad: s.baseBad + rawBad}
+	s.samples = append(s.samples, sample)
+	// Trim everything strictly older than the slow window, keeping one
+	// sample at-or-before the boundary as the subtraction baseline.
+	cut := now.Add(-s.spec.Slow)
+	drop := 0
+	for drop < len(s.samples)-1 && !s.samples[drop+1].at.After(cut) {
+		drop++
+	}
+	if drop > 0 {
+		s.samples = append(s.samples[:0], s.samples[drop:]...)
+	}
+
+	s.fast = s.burnRate(now, s.spec.Fast)
+	s.slo = s.burnRate(now, s.spec.Slow)
+
+	wasFiring := s.firing
+	if s.fast >= s.spec.Burn {
+		s.lastAbove = now
+	}
+	if !s.firing {
+		if s.fast >= s.spec.Burn && s.slo >= s.spec.Burn {
+			s.firing = true
+			s.since = now
+		}
+	} else if s.fast < s.spec.Burn && now.Sub(s.lastAbove) >= s.spec.ClearAfter {
+		s.firing = false
+		s.since = now
+	}
+	return s.alert(), s.firing != wasFiring
+}
+
+// burnRate computes bad-fraction/budget over the trailing window ending at
+// now. With no events in the window the burn rate is zero.
+func (s *sloState) burnRate(now time.Time, window time.Duration) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	newest := s.samples[len(s.samples)-1]
+	cut := now.Add(-window)
+	// Oldest retained sample at-or-before the cut is the baseline; if every
+	// sample is newer than the cut (short history), use the oldest we have.
+	base := s.samples[0]
+	for _, smp := range s.samples {
+		if smp.at.After(cut) {
+			break
+		}
+		base = smp
+	}
+	dGood := newest.good - base.good
+	dBad := newest.bad - base.bad
+	total := dGood + dBad
+	if total == 0 {
+		return 0
+	}
+	frac := float64(dBad) / float64(total)
+	return frac / s.spec.Budget
+}
+
+func (s *sloState) alert() Alert {
+	state := AlertOK
+	if s.firing {
+		state = AlertFiring
+	}
+	return Alert{
+		Name:        s.spec.Name,
+		Description: s.spec.Description,
+		Severity:    s.spec.Severity,
+		State:       state,
+		Since:       s.since,
+		FastBurn:    s.fast,
+		SlowBurn:    s.slo,
+		Budget:      s.spec.Budget,
+		Burn:        s.spec.Burn,
+	}
+}
+
+// Alerts returns the current view of every registered SLO, firing first,
+// then by name.
+func (e *SLOEngine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, 0, len(e.slos))
+	for _, s := range e.slos {
+		out = append(out, s.alert())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].State == AlertFiring) != (out[j].State == AlertFiring) {
+			return out[i].State == AlertFiring
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Firing returns only the alerts currently firing, by name.
+func (e *SLOEngine) Firing() []Alert {
+	all := e.Alerts()
+	out := all[:0]
+	for _, a := range all {
+		if a.State == AlertFiring {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedSource replays cumulative (good, bad) totals; the engine reads one
+// entry per Tick. The last entry repeats once the script is exhausted.
+type scriptedSource struct {
+	script [][2]uint64
+	i      int
+}
+
+func (s *scriptedSource) next() (uint64, uint64) {
+	e := s.script[s.i]
+	if s.i < len(s.script)-1 {
+		s.i++
+	}
+	return e[0], e[1]
+}
+
+// sloTestSpec: 10% budget, 3-tick fast window, 9-tick slow window, burn
+// threshold 2 (i.e. fire when >20% of events in both windows are bad),
+// 2-tick resolve hysteresis. Ticks are 1s apart.
+func sloTestSpec() SLOSpec {
+	return SLOSpec{
+		Name:       "test",
+		Budget:     0.10,
+		Fast:       3 * time.Second,
+		Slow:       9 * time.Second,
+		Burn:       2,
+		ClearAfter: 2 * time.Second,
+	}
+}
+
+// runScript ticks the engine once per script entry, 1s apart, and returns the
+// firing state observed after each tick.
+func runScript(t *testing.T, spec SLOSpec, script [][2]uint64) []bool {
+	t.Helper()
+	eng := NewSLOEngine()
+	src := &scriptedSource{script: script}
+	if err := eng.Register(spec, src.next); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	states := make([]bool, 0, len(script))
+	for range script {
+		eng.Tick(now)
+		states = append(states, eng.Alerts()[0].State == AlertFiring)
+		now = now.Add(time.Second)
+	}
+	return states
+}
+
+func TestSLOBurnRateGoldenVectors(t *testing.T) {
+	cases := []struct {
+		name   string
+		script [][2]uint64 // cumulative {good, bad} per tick
+		want   []bool      // firing after each tick
+	}{
+		{
+			// All good: never fires.
+			name: "all_good",
+			script: [][2]uint64{
+				{10, 0}, {20, 0}, {30, 0}, {40, 0}, {50, 0}, {60, 0},
+			},
+			want: []bool{false, false, false, false, false, false},
+		},
+		{
+			// A burst of bad events confined to one tick: the fast window
+			// burns hot but the slow window, diluted by the long good
+			// history, stays under threshold. No fire — this is the blip
+			// the multi-window design exists to suppress.
+			name: "fast_window_only_spike",
+			script: [][2]uint64{
+				{100, 0}, {200, 0}, {300, 0}, {400, 0}, {500, 0},
+				{600, 0}, {700, 0}, {800, 0},
+				// tick 8: 100 bad of 300 events in the fast window →
+				// fast burn 2.0 (≥ 2), but the slow window is diluted
+				// to 100/1100 ≈ 9% bad → burn 0.9 (< 2).
+				{1000, 100},
+				{1100, 100}, {1200, 100}, {1300, 100},
+			},
+			want: []bool{
+				false, false, false, false, false, false, false, false,
+				false, false, false, false,
+			},
+		},
+		{
+			// Sustained burn: every tick is 50% bad. Both windows cross
+			// the threshold as soon as the slow window's history is
+			// dominated by the burn.
+			name: "slow_sustained_burn",
+			script: [][2]uint64{
+				{50, 50}, {100, 100}, {150, 150}, {200, 200},
+			},
+			// Fires on the first tick with events: 50% bad → burn 5 in
+			// both windows (windows clamp to available history).
+			want: []bool{true, true, true, true},
+		},
+		{
+			// Recovery: a sustained burn stops; the alert must hold
+			// through the hysteresis interval after the fast window
+			// clears, then resolve.
+			name: "recovery_resolve_hysteresis",
+			script: [][2]uint64{
+				{50, 50}, {100, 100}, {150, 150}, // burning, fires
+				// Burn stops: only good events from here on. The fast
+				// window drops below threshold at tick 3, but the alert
+				// holds until 2s (ClearAfter) past the last over-
+				// threshold tick (tick 2) — resolving at tick 4.
+				{1150, 150},
+				{2150, 150},
+				{3150, 150}, {4150, 150}, {5150, 150},
+			},
+			want: []bool{true, true, true, true, false, false, false, false},
+		},
+		{
+			// Counter reset: the source restarts mid-stream (totals drop
+			// to near zero). The engine must clamp the negative delta,
+			// not fire on garbage, and keep evaluating the post-reset
+			// stream correctly.
+			name: "counter_reset_tolerated",
+			script: [][2]uint64{
+				{100, 0}, {200, 0}, {300, 0},
+				{10, 0}, // reset: totals went backwards
+				{20, 0}, {30, 0}, {40, 0},
+			},
+			want: []bool{false, false, false, false, false, false, false},
+		},
+		{
+			// Counter reset during a burn: after the reset the stream is
+			// 50% bad; the alert still fires on the post-reset evidence.
+			name: "counter_reset_then_burn",
+			script: [][2]uint64{
+				{100, 0}, {200, 0},
+				{5, 5}, // reset, and the fresh stream is burning
+				// The slow window still carries the clean pre-reset
+				// history, so the alert fires one tick later (tick 4),
+				// once post-reset bad events outweigh the dilution.
+				{50, 50}, {100, 100}, {150, 150}, {200, 200},
+			},
+			want: []bool{false, false, false, false, true, true, true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runScript(t, sloTestSpec(), tc.script)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d states, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("tick %d: firing=%v, want %v (full: %v)", i, got[i], tc.want[i], got)
+				}
+			}
+		})
+	}
+}
+
+func TestSLOEngineTransitionsAndAlertFields(t *testing.T) {
+	eng := NewSLOEngine()
+	var edges []Alert
+	eng.OnTransition = func(a Alert) { edges = append(edges, a) }
+	spec := sloTestSpec()
+	spec.Description = "test objective"
+	spec.Severity = "page"
+	src := &scriptedSource{script: [][2]uint64{
+		{100, 0}, {150, 50}, {200, 100}, // ramp into firing
+		{1200, 100}, {2200, 100}, {3200, 100}, {4200, 100}, // recover
+	}}
+	if err := eng.Register(spec, src.next); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 7; i++ {
+		eng.Tick(now.Add(time.Duration(i) * time.Second))
+	}
+	if len(edges) != 2 {
+		t.Fatalf("want 2 transitions (fire, resolve), got %d: %+v", len(edges), edges)
+	}
+	if edges[0].State != AlertFiring || edges[1].State != AlertOK {
+		t.Fatalf("transition states = %v, %v; want firing, ok", edges[0].State, edges[1].State)
+	}
+	if edges[0].Name != "test" || edges[0].Severity != "page" || edges[0].Description != "test objective" {
+		t.Fatalf("alert fields not carried: %+v", edges[0])
+	}
+	if edges[0].FastBurn < spec.Burn {
+		t.Fatalf("firing edge fast burn %v below threshold %v", edges[0].FastBurn, spec.Burn)
+	}
+	a := eng.Alerts()[0]
+	if a.State != AlertOK || a.Budget != spec.Budget || a.Burn != spec.Burn {
+		t.Fatalf("final alert view wrong: %+v", a)
+	}
+	if len(eng.Firing()) != 0 {
+		t.Fatalf("Firing() non-empty after resolve")
+	}
+}
+
+func TestSLOEngineRegisterValidation(t *testing.T) {
+	eng := NewSLOEngine()
+	src := func() (uint64, uint64) { return 0, 0 }
+	good := sloTestSpec()
+	if err := eng.Register(good, src); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := eng.Register(good, src); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	bad := []SLOSpec{
+		{},
+		{Name: "b", Budget: 0, Fast: time.Second, Slow: time.Minute, Burn: 1},
+		{Name: "b", Budget: 1.5, Fast: time.Second, Slow: time.Minute, Burn: 1},
+		{Name: "b", Budget: 0.1, Fast: time.Minute, Slow: time.Second, Burn: 1},
+		{Name: "b", Budget: 0.1, Fast: time.Second, Slow: time.Minute, Burn: 0},
+	}
+	for i, spec := range bad {
+		if err := eng.Register(spec, src); err == nil {
+			t.Fatalf("bad spec %d accepted: %+v", i, spec)
+		}
+	}
+	if err := eng.Register(SLOSpec{Name: "nilsrc", Budget: 0.1, Fast: time.Second, Slow: time.Minute, Burn: 1}, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestThresholdSource(t *testing.T) {
+	var v atomic.Value
+	v.Store(0.0)
+	src := ThresholdSource(func() float64 { return v.Load().(float64) }, 0.9)
+	g, b := src()
+	if g != 1 || b != 0 {
+		t.Fatalf("below threshold: good=%d bad=%d", g, b)
+	}
+	v.Store(0.95)
+	g, b = src()
+	if g != 1 || b != 1 {
+		t.Fatalf("above threshold: good=%d bad=%d", g, b)
+	}
+}
+
+func TestHistogramLatencySource(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005) // ≤ 0.01
+	h.Observe(0.005)  // ≤ 0.01
+	h.Observe(0.05)   // > 0.01
+	src := HistogramLatencySource(h, 0.01)
+	good, bad := src()
+	if good != 2 || bad != 1 {
+		t.Fatalf("good=%d bad=%d, want 2/1", good, bad)
+	}
+	// Nil histogram: permanently empty.
+	g2, b2 := HistogramLatencySource(nil, 1)()
+	if g2 != 0 || b2 != 0 {
+		t.Fatalf("nil histogram source = %d/%d", g2, b2)
+	}
+}

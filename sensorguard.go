@@ -35,6 +35,7 @@ package sensorguard
 
 import (
 	"io"
+	"log/slog"
 	"math/rand"
 
 	"sensorguard/internal/classify"
@@ -126,6 +127,18 @@ type (
 	DecisionRing = core.DecisionRing
 	// DecisionLog streams records as NDJSON — the audit-log sink.
 	DecisionLog = core.DecisionLog
+	// SLOSpec defines one multi-window burn-rate SLO (FleetConfig.SLOs).
+	SLOSpec = obs.SLOSpec
+	// Alert is one live SLO evaluation, served on GET /alerts.
+	Alert = obs.Alert
+	// HealthConfig tunes a deployment's drift-telemetry tracker
+	// (FleetConfig.Health).
+	HealthConfig = obs.HealthConfig
+	// HealthSnapshot is a deployment's drift-telemetry snapshot, served on
+	// GET /debug/health/{deployment}.
+	HealthSnapshot = obs.HealthSnapshot
+	// ModelDrift is the polled model-shift measurement inside a snapshot.
+	ModelDrift = obs.ModelDrift
 )
 
 // TraceparentHeader is the HTTP header carrying a W3C trace-context value on
@@ -156,6 +169,14 @@ func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
 
 // NewLogSink returns an event sink writing NDJSON to w.
 func NewLogSink(w io.Writer) *LogSink { return obs.NewLogSink(w) }
+
+// NewLogger returns a trace-correlated JSON slog logger writing to w, tagged
+// with a component attribute when component is non-empty — the structured
+// logging entry point the cmd binaries and the fleet share (see
+// docs/OBSERVABILITY.md).
+func NewLogger(w io.Writer, level slog.Leveler, component string) *slog.Logger {
+	return obs.NewLogger(w, level, component)
+}
 
 // ServeMetrics serves a registry's /metrics, /metrics.json, /debug/vars,
 // /healthz, and /debug/pprof endpoints on addr in the background.

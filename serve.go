@@ -39,7 +39,17 @@ type (
 	FleetDurability = fleet.Durability
 	// FleetHealth is the pool's readiness verdict, served on /healthz.
 	FleetHealth = fleet.Health
+	// FleetBuildInfo is the binary's build identity, served inside /status.
+	FleetBuildInfo = fleet.BuildInfo
 )
+
+// FleetBuild reports the running binary's build identity (module version,
+// VCS revision, and dirty flag) read from runtime/debug build info.
+func FleetBuild() FleetBuildInfo { return fleet.Build() }
+
+// DefaultFleetSLOs returns the stock SLO specs a pool binds when
+// FleetConfig.SLOs is nil (see docs/OBSERVABILITY.md).
+func DefaultFleetSLOs() []SLOSpec { return fleet.DefaultSLOs() }
 
 // Deployment lifecycle states reported in FleetStatus.State.
 const (
