@@ -1,7 +1,7 @@
 GO ?= go
 BENCHSTAT ?= $(GO) run golang.org/x/perf/cmd/benchstat@latest
 
-.PHONY: build test race lint bench bench-smoke bench-compare
+.PHONY: build test race lint bench bench-smoke bench-compare scenarios scenarios-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,19 @@ bench:
 # BENCH_hotpath.json for the artifact upload.
 bench-smoke:
 	$(GO) run ./cmd/sgbench -days 1 -passes 10 -shards 1,4 -out BENCH_hotpath.json
+
+# scenarios refreshes the committed adversary-simulation corpus report:
+# every labeled campaign in internal/scenario streamed over a real HTTP
+# ingest path into an embedded collector, scored against ground truth.
+scenarios:
+	$(GO) run ./cmd/sgsim -score-corpus -out BENCH_scenarios.json
+
+# scenarios-smoke is the CI step: a corpus subset covering all three truth
+# classes, enough to prove the sgsim → ingest → sentinel → scorer path.
+scenarios-smoke:
+	$(GO) run ./cmd/sgsim -score-corpus \
+		-scenarios benign-control,error-stuck,attack-collusion-majority,attack-replay-stale \
+		-out BENCH_scenarios_smoke.json
 
 # bench-compare diffs the committed seed and after trajectories with
 # benchstat (fetches benchstat on first use; needs network).

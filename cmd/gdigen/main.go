@@ -28,25 +28,28 @@ package main
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
-	"math/rand"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"sensorguard"
+	"sensorguard/internal/ingest"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "gdigen:", err)
+		// Fatal errors go through the structured logger like every other
+		// operational event, so a supervisor tailing the producer sees one
+		// JSON stream end to end.
+		log := sensorguard.NewLogger(os.Stderr, slog.LevelInfo, "gdigen")
+		log.Error("fatal", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
 }
@@ -92,14 +95,8 @@ func run(args []string, out, errOut io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if o.rate < 0 {
-		return fmt.Errorf("-rate must be non-negative")
-	}
-	if o.post != "" && !o.stream {
-		return fmt.Errorf("-post needs -stream")
-	}
-	if o.postBatch <= 0 {
-		return fmt.Errorf("-post-batch must be positive")
+	if err := o.validate(); err != nil {
+		return err
 	}
 
 	cfg := sensorguard.DefaultTraceConfig()
@@ -138,6 +135,51 @@ func run(args []string, out, errOut io.Writer) error {
 	return sensorguard.WriteTraceCSV(out, tr)
 }
 
+// validate rejects invalid flag values and combinations up front, before any
+// trace is generated, so a misconfigured producer fails fast with every
+// problem listed instead of dying mid-stream on the first one it happens to
+// hit.
+func (o options) validate() error {
+	var errs []error
+	if o.days <= 0 {
+		errs = append(errs, fmt.Errorf("-days must be positive (got %d)", o.days))
+	}
+	if o.sensors <= 0 {
+		errs = append(errs, fmt.Errorf("-sensors must be positive (got %d)", o.sensors))
+	}
+	if o.lossProb < 0 || o.lossProb >= 1 {
+		errs = append(errs, fmt.Errorf("-loss %v outside [0,1)", o.lossProb))
+	}
+	if o.malformProb < 0 || o.malformProb >= 1 {
+		errs = append(errs, fmt.Errorf("-malform %v outside [0,1)", o.malformProb))
+	}
+	if o.faultSensor < 0 {
+		errs = append(errs, fmt.Errorf("-fault-sensor must be non-negative (got %d)", o.faultSensor))
+	}
+	if o.faultStart < 0 {
+		errs = append(errs, fmt.Errorf("-fault-start must be non-negative (got %v)", o.faultStart))
+	}
+	if o.rate < 0 {
+		errs = append(errs, fmt.Errorf("-rate must be non-negative (got %v)", o.rate))
+	}
+	if o.rate > 0 && !o.stream {
+		errs = append(errs, errors.New("-rate needs -stream (CSV output is not paced)"))
+	}
+	if o.post != "" && !o.stream {
+		errs = append(errs, errors.New("-post needs -stream"))
+	}
+	if o.stream && o.deployment == "" {
+		errs = append(errs, errors.New("-deployment must be non-empty with -stream"))
+	}
+	if o.postBatch <= 0 {
+		errs = append(errs, fmt.Errorf("-post-batch must be positive (got %d)", o.postBatch))
+	}
+	if o.postRetry <= 0 {
+		errs = append(errs, fmt.Errorf("-post-retry must be positive (got %v)", o.postRetry))
+	}
+	return errors.Join(errs...)
+}
+
 // streamTrace replays a trace as NDJSON readings in trace order. rate is a
 // multiplier over real time: 60 plays a minute of trace per wall-clock
 // second, 0 disables pacing entirely.
@@ -171,104 +213,51 @@ func streamTrace(out io.Writer, tr sensorguard.Trace, deployment string, rate fl
 }
 
 // postTrace ships the trace as NDJSON batches over HTTP to a running
-// sentinel. Each reading carries a wire sequence number (its trace index +
-// 1), so the receiver can discard the duplicates a retried batch re-sends —
-// together with the retry loop below, that makes the producer survive server
-// restarts without losing or double-counting readings. This is the driver
-// the crash harness uses.
+// sentinel via the shared ingest.Shipper (the same shipping path cmd/sgsim
+// drives its labeled campaigns through). Each reading carries a wire
+// sequence number (its trace index + 1), so the receiver can discard the
+// duplicates a retried batch re-sends — together with the shipper's retry
+// loop, that makes the producer survive server restarts without losing or
+// double-counting readings. This is the driver the crash harness uses.
 func postTrace(tr sensorguard.Trace, o options, errOut io.Writer) error {
-	client := &http.Client{Timeout: 30 * time.Second}
-	log := sensorguard.NewLogger(errOut, slog.LevelInfo, "gdigen")
-	rng := rand.New(rand.NewSource(o.seed + 7))
-	var batch bytes.Buffer
-	var prev time.Duration
-	pending := 0
-	flush := func() error {
-		if pending == 0 {
-			return nil
-		}
-		// Every batch is the root of its own trace: the collector's sampler
-		// decides whether to record it, and retries of one batch share the
-		// trace ID so a duplicate shows up as one story, not several.
-		tc := sensorguard.NewRootContext()
-		if err := postBatch(client, o.post, batch.Bytes(), tc, o.postRetry, rng, log); err != nil {
-			return err
-		}
-		batch.Reset()
-		pending = 0
-		return nil
+	ship, err := ingest.NewShipper(ingest.ShipperConfig{
+		URL:         o.post,
+		BatchSize:   o.postBatch,
+		RetryBudget: o.postRetry,
+		Logger:      sensorguard.NewLogger(errOut, slog.LevelInfo, "gdigen"),
+		Seed:        o.seed + 7,
+	})
+	if err != nil {
+		return err
 	}
+	ctx := context.Background()
+	var prev time.Duration
 	for i, r := range tr.Readings {
 		if o.rate > 0 && i > 0 && r.Time > prev {
 			// Pacing: ship what is buffered before sleeping, so the
 			// consumer sees readings as they "happen".
-			if err := flush(); err != nil {
+			if err := ship.Flush(ctx); err != nil {
 				return err
 			}
 			time.Sleep(time.Duration(float64(r.Time-prev) / o.rate))
 		}
 		prev = r.Time
-		line, err := sensorguard.EncodeIngestLine(sensorguard.IngestReading{
+		if err := ship.Add(ctx, ingest.Reading{
 			Deployment: o.deployment,
 			Seq:        uint64(i + 1),
 			Reading:    r,
-		})
-		if err != nil {
+		}); err != nil {
 			return err
 		}
-		batch.Write(line)
-		batch.WriteByte('\n')
-		pending++
-		if pending >= o.postBatch {
-			if err := flush(); err != nil {
-				return err
-			}
-		}
 	}
-	return flush()
+	return ship.Flush(ctx)
 }
 
-// postBatch POSTs one NDJSON batch stamped with the batch's trace context,
-// retrying transient failures (connection refused or reset, timeouts, 5xx
-// responses) with exponential backoff and jitter until the retry budget runs
-// out. 4xx responses are permanent. Each retry is announced as one structured
-// ingest_post_retry log event (see retryEvent for the attribute schema), so a
-// supervisor can watch the producer ride out restarts.
-func postBatch(client *http.Client, url string, body []byte, tc sensorguard.SpanContext, budget time.Duration, rng *rand.Rand, log *slog.Logger) error {
-	deadline := time.Now().Add(budget)
-	backoff := 100 * time.Millisecond
-	for attempt := 1; ; attempt++ {
-		status, err := postOnce(client, url, body, tc)
-		if err == nil {
-			return nil
-		}
-		var perm *permanentError
-		if errors.As(err, &perm) {
-			return perm.err
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("post %s: retry budget exhausted: %w", url, err)
-		}
-		// Full jitter on the current backoff step, capped at 5s.
-		sleep := time.Duration(rng.Int63n(int64(backoff))) + backoff/2
-		log.Warn("ingest_post_retry",
-			slog.String("event", "ingest_post_retry"),
-			slog.Int("attempt", attempt),
-			slog.Int64("backoff_ms", sleep.Milliseconds()),
-			slog.Int("status", status),
-			slog.String("trace_id", tc.Trace.String()),
-			slog.String("error", err.Error()))
-		time.Sleep(sleep)
-		if backoff *= 2; backoff > 5*time.Second {
-			backoff = 5 * time.Second
-		}
-	}
-}
-
-// retryEvent is the attribute schema of the ingest_post_retry log event
-// postBatch emits, one JSON object per retry. Status is the HTTP status of
-// the failed attempt, or 0 when the failure was transport-level (connection
-// refused/reset, timeout) and no response arrived.
+// retryEvent is the attribute schema of the ingest_post_retry log event the
+// shipper emits through our logger, one JSON object per retry. Status is the
+// HTTP status of the failed attempt, or 0 when the failure was
+// transport-level (connection refused/reset, timeout) and no response
+// arrived.
 type retryEvent struct {
 	Event     string `json:"event"`
 	Attempt   int    `json:"attempt"`
@@ -276,38 +265,6 @@ type retryEvent struct {
 	Status    int    `json:"status"`
 	TraceID   string `json:"trace_id"`
 	Err       string `json:"error"`
-}
-
-// permanentError marks a failure retrying cannot fix.
-type permanentError struct{ err error }
-
-func (e *permanentError) Error() string { return e.err.Error() }
-
-// postOnce performs one POST attempt, returning the HTTP status code it got
-// (0 when the transport failed before any response) alongside the verdict.
-func postOnce(client *http.Client, url string, body []byte, tc sensorguard.SpanContext) (int, error) {
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return 0, &permanentError{err}
-	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	if tc.Valid() {
-		req.Header.Set(sensorguard.TraceparentHeader, tc.Traceparent())
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, err // transport-level: refused, reset, timeout — retryable
-	}
-	defer resp.Body.Close()
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-	switch {
-	case resp.StatusCode < 300:
-		return resp.StatusCode, nil
-	case resp.StatusCode >= 500:
-		return resp.StatusCode, fmt.Errorf("server %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-	default:
-		return resp.StatusCode, &permanentError{fmt.Errorf("post %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))}
-	}
 }
 
 func faultPlan(o options) (*sensorguard.FaultPlan, error) {

@@ -352,3 +352,47 @@ func TestRunPostStampsTraceContext(t *testing.T) {
 		t.Errorf("retry event status = %d, want the failed attempt's %d", ev.Status, http.StatusServiceUnavailable)
 	}
 }
+
+func TestValidateRejectsBadFlagCombinations(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative days", []string{"-days", "-1"}, "-days"},
+		{"zero sensors", []string{"-sensors", "0"}, "-sensors"},
+		{"loss out of range", []string{"-loss", "1.5"}, "-loss"},
+		{"malform out of range", []string{"-malform", "-0.1"}, "-malform"},
+		{"negative rate", []string{"-rate", "-2"}, "-rate"},
+		{"rate without stream", []string{"-rate", "10"}, "-rate needs -stream"},
+		{"post without stream", []string{"-post", "http://x/ingest"}, "-post needs -stream"},
+		{"zero post batch", []string{"-stream", "-post", "http://x/ingest", "-post-batch", "0"}, "-post-batch"},
+		{"zero post retry", []string{"-stream", "-post", "http://x/ingest", "-post-retry", "0s"}, "-post-retry"},
+		{"empty deployment", []string{"-stream", "-deployment", ""}, "-deployment"},
+		{"negative fault sensor", []string{"-fault", "stuck", "-fault-sensor", "-3"}, "-fault-sensor"},
+		{"negative fault start", []string{"-fault", "stuck", "-fault-start", "-1h"}, "-fault-start"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateReportsEveryProblemAtOnce(t *testing.T) {
+	err := run([]string{"-days", "0", "-sensors", "0", "-rate", "-1"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("invalid flags accepted")
+	}
+	for _, want := range []string{"-days", "-sensors", "-rate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q is missing %q", err, want)
+		}
+	}
+}

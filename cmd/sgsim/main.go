@@ -1,0 +1,606 @@
+// Command sgsim is the adversary-simulation service: it runs the labeled
+// campaign corpus (internal/scenario) against a live collector and scores
+// the collector's verdicts against ground truth.
+//
+// Two modes:
+//
+// Serve mode (default) exposes an HTTP control surface for driving
+// campaigns against a running sentinel:
+//
+//	GET  /healthz               liveness
+//	GET  /scenarios             the corpus: every scenario's spec
+//	POST /campaigns             start a campaign (body: scenario.Config JSON)
+//	GET  /campaigns             list campaigns
+//	GET  /campaigns/{id}        one campaign's live status
+//	POST /campaigns/{id}/stop   cancel a streaming campaign
+//	POST /campaigns/{id}/score  join ground truth against the collector's
+//	                            /debug/decisions/{deployment} records
+//
+// Batch mode (-score-corpus) runs the whole corpus end to end — by default
+// against an embedded in-process collector behind a real loopback HTTP
+// listener, so the full sgsim → HTTP ingest → sentinel → scorer path is
+// exercised — and writes the BENCH_scenarios.json corpus report:
+//
+//	sgsim -score-corpus -out BENCH_scenarios.json
+//
+// Campaigns stream over the same shipper path cmd/gdigen uses
+// (ingest.Shipper): batched NDJSON POSTs with sequence-numbered idempotent
+// retransmission. With -truth-dir set, every campaign writes its
+// ground-truth label sidecar (<deployment>.truth.ndjson) next to the run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sensorguard"
+	"sensorguard/internal/core"
+	"sensorguard/internal/fleet"
+	"sensorguard/internal/ingest"
+	"sensorguard/internal/scenario"
+)
+
+type options struct {
+	listen      string
+	target      string
+	decisions   string
+	scoreCorpus bool
+	out         string
+	truthDir    string
+	scenarios   string
+	seed        int64
+	days        int
+	sensors     int
+}
+
+func main() {
+	log := sensorguard.NewLogger(os.Stderr, slog.LevelInfo, "sgsim")
+	if err := run(os.Args[1:], os.Stdout, log); err != nil {
+		log.Error("fatal", slog.String("error", err.Error()))
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer, log *slog.Logger) error {
+	fs := flag.NewFlagSet("sgsim", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.listen, "listen", ":8090", "control API listen address (serve mode)")
+	fs.StringVar(&o.target, "target", "", "collector ingest URL campaigns stream to (e.g. http://localhost:8080/ingest); empty in batch mode runs an embedded collector")
+	fs.StringVar(&o.decisions, "decisions-url", "", "collector base URL for /debug/decisions scoring (default: -target with its path stripped)")
+	fs.BoolVar(&o.scoreCorpus, "score-corpus", false, "batch mode: run the corpus, score it, write -out, exit")
+	fs.StringVar(&o.out, "out", "BENCH_scenarios.json", "corpus report path (batch mode)")
+	fs.StringVar(&o.truthDir, "truth-dir", "", "directory for ground-truth label sidecars (optional)")
+	fs.StringVar(&o.scenarios, "scenarios", "", "comma-separated scenario subset (batch mode; default: whole corpus)")
+	fs.Int64Var(&o.seed, "seed", 1, "campaign seed (batch mode)")
+	fs.IntVar(&o.days, "days", 0, "campaign length override in days (batch mode; 0 = per-scenario default)")
+	fs.IntVar(&o.sensors, "sensors", 0, "fleet size override (batch mode; 0 = scenario default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := o.validate(); err != nil {
+		return err
+	}
+	if o.scoreCorpus {
+		return scoreCorpus(o, stdout, log)
+	}
+	return serve(o, log)
+}
+
+// validate collects every flag problem at once, like gdigen does.
+func (o *options) validate() error {
+	var errs []error
+	if o.scoreCorpus {
+		if o.out == "" {
+			errs = append(errs, errors.New("-score-corpus needs -out"))
+		}
+		for _, name := range o.scenarioNames() {
+			if _, ok := scenario.Lookup(name); !ok {
+				errs = append(errs, fmt.Errorf("-scenarios: unknown scenario %q", name))
+			}
+		}
+		if o.seed == 0 {
+			errs = append(errs, errors.New("-seed must be non-zero"))
+		}
+		if o.days < 0 {
+			errs = append(errs, errors.New("-days must be non-negative"))
+		}
+		if o.sensors < 0 {
+			errs = append(errs, errors.New("-sensors must be non-negative"))
+		}
+	} else {
+		if o.listen == "" {
+			errs = append(errs, errors.New("serve mode needs -listen"))
+		}
+		if o.target == "" {
+			errs = append(errs, errors.New("serve mode needs -target (the collector's ingest URL)"))
+		}
+		if o.scenarios != "" {
+			errs = append(errs, errors.New("-scenarios only applies with -score-corpus"))
+		}
+	}
+	if o.target != "" && !strings.Contains(o.target, "://") {
+		errs = append(errs, fmt.Errorf("-target %q is not a URL", o.target))
+	}
+	return errors.Join(errs...)
+}
+
+// scenarioNames resolves the -scenarios subset (or the whole corpus).
+func (o *options) scenarioNames() []string {
+	if o.scenarios == "" {
+		return scenario.Names()
+	}
+	var names []string
+	for _, n := range strings.Split(o.scenarios, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// decisionsBase is the collector base URL scoring reads from.
+func (o *options) decisionsBase() string {
+	if o.decisions != "" {
+		return strings.TrimSuffix(o.decisions, "/")
+	}
+	base := o.target
+	if i := strings.Index(base, "://"); i >= 0 {
+		if j := strings.IndexByte(base[i+3:], '/'); j >= 0 {
+			base = base[:i+3+j]
+		}
+	}
+	return strings.TrimSuffix(base, "/")
+}
+
+// ---------------------------------------------------------------------------
+// Scoring client: join a run's truth against the collector's records.
+
+// fetchDecisions pulls a deployment's decision records off the collector.
+func fetchDecisions(ctx context.Context, client *http.Client, base, deployment string) ([]core.DecisionRecord, error) {
+	url := base + "/debug/decisions/" + deployment
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var doc struct {
+		Decisions []core.DecisionRecord `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return doc.Decisions, nil
+}
+
+// writeTruthSidecar writes a run's label sidecar when -truth-dir is set.
+func writeTruthSidecar(dir string, run *scenario.Run) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, run.Config.Deployment+".truth.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := scenario.WriteTruth(f, run); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Batch mode: run the corpus, score it, write BENCH_scenarios.json.
+
+// embeddedCollector is the in-process sentinel batch mode streams to when no
+// -target is given: a real fleet pool behind a real loopback HTTP listener,
+// so campaigns still cross the wire.
+type embeddedCollector struct {
+	pool *fleet.Pool
+	srv  *http.Server
+	base string
+}
+
+func startEmbedded(window time.Duration) (*embeddedCollector, error) {
+	pool, err := fleet.New(fleet.Config{
+		Window: window,
+		// Large enough to retain every window of the longest admissible
+		// campaign (62 days × 24 windows).
+		DecisionBuffer: 2048,
+		QueueLen:       8192,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		pool.Drain()
+		return nil, err
+	}
+	srv := &http.Server{Handler: fleet.Handler(pool, nil)}
+	go srv.Serve(ln) //nolint:errcheck // closed via Shutdown
+	return &embeddedCollector{
+		pool: pool,
+		srv:  srv,
+		base: "http://" + ln.Addr().String(),
+	}, nil
+}
+
+func (e *embeddedCollector) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = e.srv.Shutdown(ctx)
+}
+
+func scoreCorpus(o options, stdout io.Writer, log *slog.Logger) error {
+	ctx := context.Background()
+	ingestURL := o.target
+	decisionsURL := o.decisionsBase()
+	var embedded *embeddedCollector
+	if ingestURL == "" {
+		var err error
+		if embedded, err = startEmbedded(time.Hour); err != nil {
+			return fmt.Errorf("embedded collector: %w", err)
+		}
+		defer embedded.close()
+		ingestURL = embedded.base + "/ingest"
+		decisionsURL = embedded.base
+		log.Info("embedded collector up", slog.String("base", embedded.base))
+	}
+
+	names := o.scenarioNames()
+	runs := make([]*scenario.Run, 0, len(names))
+	for _, name := range names {
+		sc, _ := scenario.Lookup(name)
+		run, err := sc.Build(scenario.Config{
+			Scenario: name,
+			Seed:     o.seed,
+			Days:     o.days,
+			Sensors:  o.sensors,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeTruthSidecar(o.truthDir, run); err != nil {
+			return fmt.Errorf("truth sidecar for %s: %w", name, err)
+		}
+		start := time.Now()
+		if err := shipRun(ctx, run, ingestURL, 0, log, nil); err != nil {
+			return fmt.Errorf("ship %s: %w", name, err)
+		}
+		log.Info("campaign shipped",
+			slog.String("scenario", name),
+			slog.String("deployment", run.Config.Deployment),
+			slog.Int("readings", len(run.Readings)),
+			slog.Int64("elapsed_ms", time.Since(start).Milliseconds()))
+		runs = append(runs, run)
+	}
+
+	// Flush every open window before scoring: the embedded pool drains in
+	// process; an external collector keeps its watermark-held tail windows,
+	// which simply go unscored.
+	if embedded != nil {
+		embedded.pool.Drain()
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	report := scenario.CorpusReport{
+		SchemaVersion: scenario.SchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Seed:          o.seed,
+		WindowSec:     time.Hour.Seconds(),
+	}
+	for _, run := range runs {
+		recs, err := fetchDecisions(ctx, client, decisionsURL, run.Config.Deployment)
+		if err != nil {
+			return fmt.Errorf("score %s: %w", run.Spec.Name, err)
+		}
+		s := scenario.ScoreRun(run, recs)
+		report.Scenarios = append(report.Scenarios, s)
+		log.Info("campaign scored",
+			slog.String("scenario", s.Scenario),
+			slog.Float64("accuracy", s.Accuracy),
+			slog.Float64("false_alarm_rate", s.FalseAlarmRate),
+			slog.Bool("detected", s.Detected),
+			slog.Int("latency_windows", s.DetectionLatencyWindows),
+			slog.String("final_verdict", s.FinalVerdict))
+	}
+	sort.Slice(report.Scenarios, func(i, j int) bool {
+		return report.Scenarios[i].Scenario < report.Scenarios[j].Scenario
+	})
+	report.Summary = scenario.Summarize(report.Scenarios)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "scored %d scenarios: mean accuracy %.3f, mean false-alarm rate %.3f, detected %d/%d → %s\n",
+		report.Summary.Scenarios, report.Summary.MeanAccuracy, report.Summary.MeanFalseAlarmRate,
+		report.Summary.Detected, report.Summary.Anomalous, o.out)
+	return nil
+}
+
+// shipRun streams a run's readings to the ingest URL via the shared shipper
+// path. rate > 0 paces shipping at rate× real time by event-time deltas;
+// progress (when non-nil) counts readings handed to the shipper.
+func shipRun(ctx context.Context, run *scenario.Run, url string, rate float64, log *slog.Logger, progress *atomic.Int64) error {
+	ship, err := ingest.NewShipper(ingest.ShipperConfig{
+		URL:    url,
+		Logger: log,
+		Seed:   run.Config.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	prev := time.Duration(-1)
+	for _, r := range run.Readings {
+		if rate > 0 && prev >= 0 && r.Time > prev {
+			// Flush before pacing so the collector sees data during the
+			// pause, then sleep the scaled event-time delta.
+			if err := ship.Flush(ctx); err != nil {
+				return err
+			}
+			sleep := time.Duration(float64(r.Time-prev) / rate)
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if r.Time > prev {
+			prev = r.Time
+		}
+		if err := ship.Add(ctx, r); err != nil {
+			return err
+		}
+		if progress != nil {
+			progress.Add(1)
+		}
+	}
+	return ship.Flush(ctx)
+}
+
+// ---------------------------------------------------------------------------
+// Serve mode: the campaign control API.
+
+type campaignState string
+
+const (
+	stateRunning campaignState = "running"
+	stateDone    campaignState = "done"
+	stateFailed  campaignState = "failed"
+	stateStopped campaignState = "stopped"
+)
+
+type campaign struct {
+	id   string
+	run  *scenario.Run
+	sent atomic.Int64
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu    sync.Mutex
+	state campaignState
+	err   string
+}
+
+func (c *campaign) setState(s campaignState, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// stop() wins over the goroutine's own exit status: a cancelled
+	// campaign reports "stopped" even though shipping failed on ctx.Err.
+	if c.state == stateStopped && s == stateFailed {
+		return
+	}
+	c.state = s
+	if err != nil {
+		c.err = err.Error()
+	}
+}
+
+// campaignStatus is the control API's view of one campaign.
+type campaignStatus struct {
+	ID         string        `json:"id"`
+	Scenario   string        `json:"scenario"`
+	Deployment string        `json:"deployment"`
+	State      campaignState `json:"state"`
+	Err        string        `json:"err,omitempty"`
+	Sent       int64         `json:"sent"`
+	Total      int           `json:"total"`
+	Windows    int           `json:"windows"`
+}
+
+func (c *campaign) status() campaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return campaignStatus{
+		ID:         c.id,
+		Scenario:   c.run.Spec.Name,
+		Deployment: c.run.Config.Deployment,
+		State:      c.state,
+		Err:        c.err,
+		Sent:       c.sent.Load(),
+		Total:      len(c.run.Readings),
+		Windows:    len(c.run.Truth),
+	}
+}
+
+type server struct {
+	opts   options
+	log    *slog.Logger
+	client *http.Client
+
+	mu        sync.Mutex
+	nextID    int
+	campaigns map[string]*campaign
+}
+
+func serve(o options, log *slog.Logger) error {
+	s := &server{
+		opts:      o,
+		log:       log,
+		client:    &http.Client{Timeout: 30 * time.Second},
+		campaigns: make(map[string]*campaign),
+	}
+	log.Info("sgsim control API up",
+		slog.String("listen", o.listen),
+		slog.String("target", o.target),
+		slog.Int("scenarios", len(scenario.Names())))
+	return http.ListenAndServe(o.listen, s.handler())
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /scenarios", func(w http.ResponseWriter, _ *http.Request) {
+		specs := make([]scenario.Spec, 0, len(scenario.Corpus()))
+		for _, sc := range scenario.Corpus() {
+			specs = append(specs, sc.Spec())
+		}
+		writeJSON(w, http.StatusOK, specs)
+	})
+	mux.HandleFunc("POST /campaigns", s.startCampaign)
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		list := make([]campaignStatus, 0, len(s.campaigns))
+		for _, c := range s.campaigns {
+			list = append(list, c.status())
+		}
+		s.mu.Unlock()
+		sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+		writeJSON(w, http.StatusOK, list)
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.campaign(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown campaign", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, c.status())
+	})
+	mux.HandleFunc("POST /campaigns/{id}/stop", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.campaign(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown campaign", http.StatusNotFound)
+			return
+		}
+		c.setState(stateStopped, nil)
+		c.cancel()
+		<-c.done
+		writeJSON(w, http.StatusOK, c.status())
+	})
+	mux.HandleFunc("POST /campaigns/{id}/score", s.scoreCampaign)
+	return mux
+}
+
+func (s *server) campaign(id string) (*campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+func (s *server) startCampaign(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg, sc, err := scenario.DecodeConfig(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	run, err := sc.Build(cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := writeTruthSidecar(s.opts.truthDir, run); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &campaign{run: run, cancel: cancel, done: make(chan struct{}), state: stateRunning}
+	s.mu.Lock()
+	s.nextID++
+	c.id = fmt.Sprintf("c%d", s.nextID)
+	s.campaigns[c.id] = c
+	s.mu.Unlock()
+	s.log.Info("campaign started",
+		slog.String("id", c.id),
+		slog.String("scenario", run.Spec.Name),
+		slog.String("deployment", run.Config.Deployment),
+		slog.Int("readings", len(run.Readings)))
+	go func() {
+		defer close(c.done)
+		defer cancel()
+		err := shipRun(ctx, run, s.opts.target, cfg.Rate, s.log, &c.sent)
+		switch {
+		case err == nil:
+			c.setState(stateDone, nil)
+		default:
+			c.setState(stateFailed, err)
+			s.log.Warn("campaign failed",
+				slog.String("id", c.id), slog.String("error", err.Error()))
+		}
+	}()
+	writeJSON(w, http.StatusAccepted, c.status())
+}
+
+func (s *server) scoreCampaign(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown campaign", http.StatusNotFound)
+		return
+	}
+	recs, err := fetchDecisions(r.Context(), s.client, s.opts.decisionsBase(), c.run.Config.Deployment)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, http.StatusOK, scenario.ScoreRun(c.run, recs))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

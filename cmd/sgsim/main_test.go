@@ -1,0 +1,341 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sensorguard/internal/scenario"
+)
+
+func discardLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		o    options
+		want string // substring of the error, "" for ok
+	}{
+		{"serve ok", options{listen: ":0", target: "http://c:8080/ingest"}, ""},
+		{"serve no target", options{listen: ":0"}, "needs -target"},
+		{"serve no listen", options{target: "http://c:8080/ingest"}, "needs -listen"},
+		{"serve with scenarios", options{listen: ":0", target: "http://c:8080/ingest", scenarios: "benign-control"}, "only applies"},
+		{"target not a url", options{listen: ":0", target: "localhost:8080"}, "not a URL"},
+		{"batch ok", options{scoreCorpus: true, out: "x.json", seed: 1}, ""},
+		{"batch no out", options{scoreCorpus: true, seed: 1}, "needs -out"},
+		{"batch zero seed", options{scoreCorpus: true, out: "x.json"}, "non-zero"},
+		{"batch bad scenario", options{scoreCorpus: true, out: "x.json", seed: 1, scenarios: "no-such"}, "unknown scenario"},
+		{"batch negative days", options{scoreCorpus: true, out: "x.json", seed: 1, days: -1}, "-days"},
+		{"batch negative sensors", options{scoreCorpus: true, out: "x.json", seed: 1, sensors: -1}, "-sensors"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.o.validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecisionsBase(t *testing.T) {
+	cases := []struct {
+		o    options
+		want string
+	}{
+		{options{target: "http://c:8080/ingest"}, "http://c:8080"},
+		{options{target: "http://c:8080"}, "http://c:8080"},
+		{options{target: "http://c:8080/"}, "http://c:8080"},
+		{options{target: "http://c:8080/ingest", decisions: "http://other:9/"}, "http://other:9"},
+	}
+	for _, tc := range cases {
+		if got := tc.o.decisionsBase(); got != tc.want {
+			t.Errorf("decisionsBase(%+v) = %q, want %q", tc.o, got, tc.want)
+		}
+	}
+}
+
+// TestScoreCorpusBatch runs batch mode on a corpus subset against the
+// embedded collector and checks the written report and truth sidecars.
+func TestScoreCorpusBatch(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	o := options{
+		scoreCorpus: true,
+		out:         out,
+		truthDir:    dir,
+		scenarios:   "benign-control,error-stuck",
+		seed:        1,
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if err := scoreCorpus(o, &stdout, discardLog()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report scenario.CorpusReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.SchemaVersion != scenario.SchemaVersion {
+		t.Errorf("schema version %d, want %d", report.SchemaVersion, scenario.SchemaVersion)
+	}
+	if len(report.Scenarios) != 2 || report.Summary.Scenarios != 2 {
+		t.Fatalf("scored %d scenarios (summary %d), want 2", len(report.Scenarios), report.Summary.Scenarios)
+	}
+	for _, s := range report.Scenarios {
+		if s.Scored == 0 {
+			t.Errorf("%s: no windows scored", s.Scenario)
+		}
+		if s.FalseAlarmRate != 0 {
+			t.Errorf("%s: false-alarm rate %v on a seed-1 corpus run, want 0", s.Scenario, s.FalseAlarmRate)
+		}
+	}
+	// benign-control sorts first: a clean fleet must score perfectly.
+	if s := report.Scenarios[0]; s.Scenario != "benign-control" || s.Accuracy != 1 || s.Detected {
+		t.Errorf("benign-control score %+v, want accuracy 1 and no detection", s)
+	}
+	if s := report.Scenarios[1]; s.Scenario != "error-stuck" || !s.Detected {
+		t.Errorf("error-stuck score %+v, want detection", s)
+	}
+	for _, dep := range []string{"benign-control-1", "error-stuck-1"} {
+		f, err := os.Open(filepath.Join(dir, dep+".truth.ndjson"))
+		if err != nil {
+			t.Fatalf("truth sidecar: %v", err)
+		}
+		if _, err := scenario.ReadTruth(f); err != nil {
+			t.Errorf("truth sidecar for %s unreadable: %v", dep, err)
+		}
+		f.Close()
+	}
+	if !strings.Contains(stdout.String(), "scored 2 scenarios") {
+		t.Errorf("stdout summary %q", stdout.String())
+	}
+}
+
+// TestCampaignLifecycle drives the full path end to end: the control API
+// starts a campaign, the campaign streams over HTTP ingest into a real
+// collector, and the score endpoint joins the collector's verdicts against
+// the campaign's ground truth. The verdict is pinned: a stuck sensor must
+// be detected and read as an error, not an attack.
+func TestCampaignLifecycle(t *testing.T) {
+	collector, err := startEmbedded(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.close()
+
+	s := &server{
+		opts: options{
+			target:   collector.base + "/ingest",
+			truthDir: t.TempDir(),
+		},
+		log:       discardLog(),
+		client:    &http.Client{Timeout: 30 * time.Second},
+		campaigns: make(map[string]*campaign),
+	}
+	api := httptest.NewServer(s.handler())
+	defer api.Close()
+
+	var health map[string]string
+	getJSON(t, api.URL+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz %v", health)
+	}
+	var specs []scenario.Spec
+	getJSON(t, api.URL+"/scenarios", &specs)
+	if len(specs) < 8 {
+		t.Fatalf("control API lists %d scenarios, want ≥8", len(specs))
+	}
+
+	resp, err := http.Post(api.URL+"/campaigns", "application/json",
+		strings.NewReader(`{"scenario":"error-stuck","days":4,"deployment":"e2e-stuck"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status campaignStatus
+	decodeBody(t, resp, http.StatusAccepted, &status)
+	if status.State != stateRunning && status.State != stateDone {
+		t.Fatalf("campaign state %q after start", status.State)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for status.State == stateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign still running: %+v", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+		getJSON(t, api.URL+"/campaigns/"+status.ID, &status)
+	}
+	if status.State != stateDone || status.Err != "" {
+		t.Fatalf("campaign ended %q (err %q), want done", status.State, status.Err)
+	}
+	if status.Sent != int64(status.Total) || status.Sent == 0 {
+		t.Fatalf("shipped %d of %d readings", status.Sent, status.Total)
+	}
+
+	// Flush the collector's open windows, then score.
+	collector.pool.Drain()
+	resp, err = http.Post(api.URL+"/campaigns/"+status.ID+"/score", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var score scenario.Score
+	decodeBody(t, resp, http.StatusOK, &score)
+
+	// Pin the verdict against ground truth: the fault is detected promptly,
+	// the benign lead-in stays quiet, and the overall read is "error" —
+	// misreading a lone stuck sensor as an attack would drag accuracy down.
+	if !score.Detected || score.DetectionLatencyWindows > 3 {
+		t.Errorf("detected=%v latency=%d windows, want prompt detection", score.Detected, score.DetectionLatencyWindows)
+	}
+	if score.FalseAlarms != 0 {
+		t.Errorf("%d false alarms on the benign lead-in", score.FalseAlarms)
+	}
+	if score.Accuracy < 0.9 {
+		t.Errorf("accuracy %.3f, want ≥ 0.9 (stuck sensor misread?) confusion=%v", score.Accuracy, score.Confusion)
+	}
+	if n := score.Confusion[scenario.LabelError][scenario.LabelError]; n == 0 {
+		t.Errorf("no fault window read as error: confusion=%v", score.Confusion)
+	}
+
+	// The campaign's truth sidecar landed next to the run.
+	f, err := os.Open(filepath.Join(s.opts.truthDir, "e2e-stuck.truth.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if run, err := scenario.ReadTruth(f); err != nil || run.Spec.Name != "error-stuck" {
+		t.Errorf("sidecar run %v, err %v", run, err)
+	}
+
+	// Unknown campaign IDs 404 on every campaign-scoped route.
+	for _, probe := range []func() (*http.Response, error){
+		func() (*http.Response, error) { return http.Get(api.URL + "/campaigns/nope") },
+		func() (*http.Response, error) { return http.Post(api.URL+"/campaigns/nope/stop", "", nil) },
+		func() (*http.Response, error) { return http.Post(api.URL+"/campaigns/nope/score", "", nil) },
+	} {
+		resp, err := probe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown campaign: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestCampaignStop cancels a paced campaign mid-stream.
+func TestCampaignStop(t *testing.T) {
+	collector, err := startEmbedded(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer collector.close()
+	s := &server{
+		opts:      options{target: collector.base + "/ingest"},
+		log:       discardLog(),
+		client:    &http.Client{Timeout: 30 * time.Second},
+		campaigns: make(map[string]*campaign),
+	}
+	api := httptest.NewServer(s.handler())
+	defer api.Close()
+
+	// rate 0.001 scales the 5-minute sample period to ~83 hours of wall
+	// clock per step — the campaign cannot finish on its own.
+	resp, err := http.Post(api.URL+"/campaigns", "application/json",
+		strings.NewReader(`{"scenario":"benign-control","rate":0.001}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status campaignStatus
+	decodeBody(t, resp, http.StatusAccepted, &status)
+
+	resp, err = http.Post(api.URL+"/campaigns/"+status.ID+"/stop", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusOK, &status)
+	if status.State != stateStopped {
+		t.Fatalf("state %q after stop, want stopped", status.State)
+	}
+	if status.Sent >= int64(status.Total) {
+		t.Fatalf("stopped campaign shipped everything (%d/%d)", status.Sent, status.Total)
+	}
+
+	// The campaign list still carries the stopped campaign.
+	var list []campaignStatus
+	getJSON(t, api.URL+"/campaigns", &list)
+	if len(list) != 1 || list[0].State != stateStopped {
+		t.Fatalf("campaign list %+v", list)
+	}
+}
+
+func TestStartCampaignRejectsBadConfig(t *testing.T) {
+	s := &server{
+		opts:      options{target: "http://127.0.0.1:1/ingest"},
+		log:       discardLog(),
+		client:    http.DefaultClient,
+		campaigns: make(map[string]*campaign),
+	}
+	api := httptest.NewServer(s.handler())
+	defer api.Close()
+	for _, body := range []string{
+		`{"scenario":"no-such"}`,
+		`{"scenario":"benign-control","days":90}`,
+		`not json`,
+	} {
+		resp, err := http.Post(api.URL+"/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, http.StatusOK, v)
+}
+
+func decodeBody(t *testing.T, resp *http.Response, wantStatus int, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		t.Fatalf("status %d, want %d: %s", resp.StatusCode, wantStatus, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(fmt.Errorf("decode %T: %w", v, err))
+	}
+}

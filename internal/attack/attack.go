@@ -14,6 +14,7 @@ package attack
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"sensorguard/internal/sensor"
@@ -33,9 +34,16 @@ type Strategy interface {
 
 // Adversary is the shared attacker state: which sensors it controls and the
 // admissible ranges it must respect.
+//
+// Every random choice an adversary makes is drawn from one seeded RNG
+// (Reseed), so a campaign replayed with the same seed over the same trace is
+// byte-reproducible — the property the scenario corpus scores against
+// committed ground truth.
 type Adversary struct {
 	malicious map[int]bool
 	ranges    []sensor.Range
+	jitter    float64
+	rng       *rand.Rand
 }
 
 // NewAdversary builds an adversary controlling the given sensors. ranges
@@ -52,6 +60,38 @@ func NewAdversary(malicious []int, ranges []sensor.Range) (*Adversary, error) {
 		m[id] = true
 	}
 	return &Adversary{malicious: m, ranges: append([]sensor.Range(nil), ranges...)}, nil
+}
+
+// Reseed installs a deterministic RNG for every stochastic choice the
+// adversary makes (currently injection jitter). Strategies sharing one
+// Adversary share its stream, so the bytes an attacked trace contains are a
+// pure function of (trace, seed, strategy schedule). Calling Reseed mid-run
+// restarts the stream.
+func (a *Adversary) Reseed(seed int64) {
+	a.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetJitter makes compensate spread its injections: instead of every
+// controlled sensor reporting the identical solved value — a fingerprint no
+// real attacker would leave — each gets zero-mean Gaussian noise with the
+// given per-attribute standard deviation added, drawn from the Reseed RNG.
+// The jitter is zero-mean, so the achieved network mean stays on target in
+// expectation; sigma 0 restores exact compensation.
+func (a *Adversary) SetJitter(sigma float64) error {
+	if sigma < 0 {
+		return fmt.Errorf("attack: negative jitter sigma %v", sigma)
+	}
+	a.jitter = sigma
+	return nil
+}
+
+// rand returns the adversary's RNG, defaulting to a fixed seed so an
+// un-Reseeded adversary is still deterministic rather than time-seeded.
+func (a *Adversary) rand() *rand.Rand {
+	if a.rng == nil {
+		a.rng = rand.New(rand.NewSource(1))
+	}
+	return a.rng
 }
 
 // Controls reports whether the adversary controls the sensor.
@@ -122,7 +162,15 @@ func (a *Adversary) compensate(readings []sensor.Reading, target vecmat.Vector) 
 	inject = sensor.ClampVector(inject, a.ranges)
 	for i := range out {
 		if a.malicious[out[i].Sensor] {
-			out[i].Values = inject.Clone()
+			v := inject.Clone()
+			if a.jitter > 0 {
+				rng := a.rand()
+				for j := range v {
+					v[j] += rng.NormFloat64() * a.jitter
+				}
+				v = sensor.ClampVector(v, a.ranges)
+			}
+			out[i].Values = v
 		}
 	}
 	return out

@@ -221,3 +221,64 @@ func TestStrategyNames(t *testing.T) {
 		t.Error("benign name")
 	}
 }
+
+func TestJitterIsDeterministicUnderReseed(t *testing.T) {
+	apply := func(seed int64) []sensor.Reading {
+		a := mustAdversary(t, []int{0, 1})
+		a.Reseed(seed)
+		if err := a.SetJitter(0.5); err != nil {
+			t.Fatalf("SetJitter: %v", err)
+		}
+		crt := &DynamicCreation{Adversary: a, Target: vecmat.Vector{30, 40}}
+		out := crt.Apply(0, round(5, vecmat.Vector{20, 50}))
+		return crt.Apply(time.Minute, out)
+	}
+	a, b := apply(7), apply(7)
+	for i := range a {
+		if !a[i].Values.Equal(b[i].Values, 0) {
+			t.Fatalf("same seed diverged at sensor %d: %v vs %v", i, a[i].Values, b[i].Values)
+		}
+	}
+	c := apply(8)
+	same := true
+	for i := range a {
+		if !a[i].Values.Equal(c[i].Values, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestJitterSpreadsInjectionsAcrossSensors(t *testing.T) {
+	a := mustAdversary(t, []int{0, 1, 2})
+	a.Reseed(3)
+	if err := a.SetJitter(0.5); err != nil {
+		t.Fatal(err)
+	}
+	crt := &DynamicCreation{Adversary: a, Target: vecmat.Vector{30, 40}}
+	out := crt.Apply(0, round(6, vecmat.Vector{20, 50}))
+	if out[0].Values.Equal(out[1].Values, 0) && out[1].Values.Equal(out[2].Values, 0) {
+		t.Error("jittered injections are identical across controlled sensors")
+	}
+	// Jitter must still respect the admissible ranges.
+	for _, r := range out[:3] {
+		if r.Values[1] < 0 || r.Values[1] > 100 {
+			t.Errorf("jittered humidity %v outside [0,100]", r.Values[1])
+		}
+	}
+	if err := a.SetJitter(-1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func TestZeroJitterKeepsExactCompensation(t *testing.T) {
+	a := mustAdversary(t, []int{0})
+	a.Reseed(9)
+	crt := &DynamicCreation{Adversary: a, Target: vecmat.Vector{30, 40}}
+	out := crt.Apply(0, round(4, vecmat.Vector{20, 50}))
+	if !mean(out).Equal(vecmat.Vector{30, 40}, 1e-9) {
+		t.Errorf("mean with zero jitter = %v, want exact target", mean(out))
+	}
+}

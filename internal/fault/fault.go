@@ -210,6 +210,30 @@ func (f *Intermittent) Drop(_, _ time.Duration) bool {
 	return f.rng.Float64() < f.rate
 }
 
+// Outage suppresses every message while active — a powered-off mote, a
+// firmware reset in progress, or a sensor that left the deployment for good
+// (open-ended schedule). Values of messages outside the outage pass through
+// unchanged, so one Schedule models a reboot gap and an open-ended one
+// models permanent departure. The scenario corpus builds its sensor-churn
+// campaigns (join/leave/firmware-reset) from exactly these schedules.
+type Outage struct{}
+
+var (
+	_ Injector = Outage{}
+	_ Dropper  = Outage{}
+)
+
+// Name implements Injector.
+func (Outage) Name() string { return "outage" }
+
+// Apply implements Injector (values pass through unchanged).
+func (Outage) Apply(_, _ time.Duration, clean vecmat.Vector) vecmat.Vector {
+	return clean.Clone()
+}
+
+// Drop implements Dropper: every message inside the schedule is lost.
+func (Outage) Drop(_, _ time.Duration) bool { return true }
+
 // Schedule activates an injector on one sensor during [Start, End). A zero
 // End means the fault persists forever.
 type Schedule struct {

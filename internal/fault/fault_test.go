@@ -194,3 +194,25 @@ func TestFaultySensors(t *testing.T) {
 		t.Errorf("FaultySensors = %v, want [6 7]", got)
 	}
 }
+
+func TestOutageDropsEveryMessageWhileActive(t *testing.T) {
+	p, err := NewPlan(
+		Schedule{Sensor: 2, Injector: Outage{}, Start: time.Hour, End: 2 * time.Hour},
+		Schedule{Sensor: 3, Injector: Outage{}, Start: 4 * time.Hour}, // open-ended: the sensor left
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Apply(2, 90*time.Minute, vecmat.Vector{5}); ok {
+		t.Error("message delivered during outage")
+	}
+	if got, ok := p.Apply(2, 3*time.Hour, vecmat.Vector{5}); !ok || got[0] != 5 {
+		t.Errorf("after outage: got %v ok=%v, want untouched delivery", got, ok)
+	}
+	if _, ok := p.Apply(3, 100*time.Hour, vecmat.Vector{5}); ok {
+		t.Error("departed sensor still transmitting")
+	}
+	if got, ok := p.Apply(3, time.Hour, vecmat.Vector{5}); !ok || got[0] != 5 {
+		t.Errorf("before departure: got %v ok=%v, want untouched delivery", got, ok)
+	}
+}

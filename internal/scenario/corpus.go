@@ -1,0 +1,684 @@
+package scenario
+
+// The corpus. Each scenario is a deterministic campaign builder: a synthetic
+// GDI deployment (internal/gdi) with faults (internal/fault), coordinated
+// attacks (internal/attack), or wire-level manipulation (replayed duplicates,
+// forged frames, floods) layered on, plus the per-window ground truth.
+//
+// Conventions shared by every entry:
+//
+//   - The observation window is 1h (the fleet default), and every anomaly
+//     onset is at 48h: the collector spends the first 24h bootstrapping its
+//     model states and the next 24h seeing clean traffic, so detection
+//     latency is measured against a warmed-up detector.
+//   - Traces are generated with MalformProb 0 — malformed frames never reach
+//     a detector, so they would only blur the labels.
+//   - Wire-level forgeries carry Seq 0: an attacker injecting frames does
+//     not participate in the producer's retransmission numbering. Replayed
+//     duplicates keep their original stale sequence numbers — the ingest
+//     dedup high-water mark is exactly the defense they probe.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sensorguard/internal/attack"
+	"sensorguard/internal/fault"
+	"sensorguard/internal/gdi"
+	"sensorguard/internal/ingest"
+	"sensorguard/internal/network"
+	"sensorguard/internal/sensor"
+	"sensorguard/internal/vecmat"
+)
+
+const (
+	// corpusWindow is the observation window every campaign's truth is
+	// expressed in; it must match the collector's Config.Window.
+	corpusWindow = time.Hour
+	// corpusOnset is when every campaign's anomaly begins.
+	corpusOnset = 48 * time.Hour
+	// corpusDays is the default campaign length: 48h warm-up plus four days
+	// of anomaly — enough windows for stable rates, short enough that the
+	// full corpus scores in seconds.
+	corpusDays = 6
+)
+
+// baseGen maps a campaign config onto the synthetic GDI generator.
+func baseGen(cfg Config) gdi.GenerateConfig {
+	g := gdi.DefaultGenerateConfig()
+	g.Sensors = cfg.Sensors
+	g.Days = cfg.Days
+	g.MalformProb = 0
+	g.Seed = cfg.Seed
+	return g
+}
+
+// toWire numbers a trace into deployment-tagged wire readings, Seq 1..n in
+// ship order.
+func toWire(tr gdi.Trace, deployment string) []ingest.Reading {
+	out := make([]ingest.Reading, len(tr.Readings))
+	for i, r := range tr.Readings {
+		out[i] = ingest.Reading{Deployment: deployment, Seq: uint64(i + 1), Reading: r.Clone()}
+	}
+	return out
+}
+
+// onsetSpec is one ground-truth phase transition.
+type onsetSpec struct {
+	at    time.Duration
+	label Label
+	phase string
+}
+
+func labelRank(l Label) int {
+	switch l {
+	case LabelError:
+		return 1
+	case LabelAttack:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// buildTruth lays cumulative labels over every window the stream covers:
+// benign until the first onset, then each onset's label from its window to
+// the end, attack outranking error. Later onsets of equal or higher rank
+// take over the phase name.
+func buildTruth(readings []ingest.Reading, w time.Duration, onsets ...onsetSpec) []WindowTruth {
+	last := 0
+	for _, r := range readings {
+		if idx := network.WindowIndex(r.Time, w); idx > last {
+			last = idx
+		}
+	}
+	truth := make([]WindowTruth, last+1)
+	for i := range truth {
+		truth[i] = WindowTruth{Window: i, Label: LabelBenign, Phase: "clean"}
+	}
+	for _, o := range onsets {
+		for i := network.WindowIndex(o.at, w); i <= last; i++ {
+			if labelRank(o.label) >= labelRank(truth[i].Label) {
+				truth[i].Label = o.label
+				truth[i].Phase = o.phase
+			}
+		}
+	}
+	return truth
+}
+
+// traceRun is the common assembly for scenarios that are fully described by
+// generator options: generate, number, label.
+func traceRun(cfg Config, onsets []onsetSpec, opts ...network.Option) (*Run, error) {
+	tr, err := gdi.Generate(baseGen(cfg), opts...)
+	if err != nil {
+		return nil, err
+	}
+	readings := toWire(tr, cfg.Deployment)
+	return &Run{
+		Window:   corpusWindow,
+		Readings: readings,
+		Truth:    buildTruth(readings, corpusWindow, onsets...),
+	}, nil
+}
+
+// newAdversary builds a seeded, jittered adversary over the GDI ranges.
+func newAdversary(ids []int, seed int64, jitter float64) (*attack.Adversary, error) {
+	adv, err := attack.NewAdversary(ids, gdi.Ranges())
+	if err != nil {
+		return nil, err
+	}
+	adv.Reseed(seed)
+	if err := adv.SetJitter(jitter); err != nil {
+		return nil, err
+	}
+	return adv, nil
+}
+
+// sensorIDs returns [0, n).
+func sensorIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// minoritySize is how many sensors the minority-attack campaigns compromise:
+// a third of the fleet (3 of the paper's 10), at least one.
+func minoritySize(sensors int) int {
+	if n := sensors / 3; n >= 1 {
+		return n
+	}
+	return 1
+}
+
+// faultySensor picks the single faulty mote, scaled so the default fleet
+// uses sensor 6 — the paper's degraded GDI humidity sensor.
+func faultySensor(sensors int) int {
+	if sensors > 6 {
+		return 6
+	}
+	return sensors - 1
+}
+
+// keyed pairs a wire reading with the event-time position it is shipped at —
+// replayed duplicates ship at original-time + delay, forged frames at their
+// fabricated timestamps.
+type keyed struct {
+	at time.Duration
+	r  ingest.Reading
+}
+
+// mergeExtras interleaves forged/replayed frames into a legit stream by ship
+// time. The sort is stable over a by-key ordering, so the legit readings
+// (keyed by their own timestamps, already ascending) keep their relative
+// order and their sequence numbers stay monotonic on the wire.
+func mergeExtras(legit []ingest.Reading, extras []keyed) []ingest.Reading {
+	all := make([]keyed, 0, len(legit)+len(extras))
+	for _, r := range legit {
+		all = append(all, keyed{at: r.Time, r: r})
+	}
+	all = append(all, extras...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].at < all[j].at })
+	out := make([]ingest.Reading, len(all))
+	for i, k := range all {
+		out[i] = k.r
+	}
+	return out
+}
+
+// creationTarget is the fake environment state the creation-style campaigns
+// inject: a cool, damp reading well inside the admissible ranges but away
+// from the GDI summer profile.
+func creationTarget() vecmat.Vector { return vecmat.Vector{14, 66} }
+
+func init() {
+	registerBenignControl()
+	registerBenignChurn()
+	registerErrorStuck()
+	registerErrorNoise()
+	registerErrorInterference()
+	registerAttackCreationMinority()
+	registerAttackCollusionMajority()
+	registerAttackReplayStale()
+	registerAttackSpoofInject()
+	registerAttackFloodBurst()
+	registerCompositeDriftAttack()
+}
+
+// benign-control: the null campaign. Any alarm here is a false alarm, so its
+// score anchors the corpus false-alarm baseline.
+func registerBenignControl() {
+	register(&builder{
+		spec: Spec{
+			Name:        "benign-control",
+			Class:       LabelBenign,
+			Summary:     "clean GDI deployment, no faults, no adversary — the false-alarm baseline",
+			Expected:    "none",
+			MinDays:     3,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "loss_prob", Value: "0.12", Effect: "GDI-calibrated packet loss"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			return traceRun(cfg, nil)
+		},
+	})
+}
+
+// benign-churn: sensors join, leave, and reboot — population change that a
+// detector must not confuse with faults or attacks. One extra mote joins at
+// 72h (it is silent before that), one departs for good at 96h, and one
+// drops off for 90 minutes at 60h (a firmware reset).
+func registerBenignChurn() {
+	register(&builder{
+		spec: Spec{
+			Name:        "benign-churn",
+			Class:       LabelBenign,
+			Summary:     "sensor churn: late join at 72h, permanent leave at 96h, 90-minute firmware reset at 60h",
+			Expected:    "none",
+			MinDays:     5,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "join", Value: "sensor N at 72h", Effect: "an unseen mote starts reporting mid-campaign"},
+				{Name: "leave", Value: "sensor 1 at 96h", Effect: "a mote goes permanently silent"},
+				{Name: "reset", Value: "sensor 2, 60h–61h30m", Effect: "a reboot gap in one mote's stream"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			plan, err := fault.NewPlan(
+				// The joining mote exists from t=0 but every message before
+				// 72h is suppressed — to the collector it appears at 72h.
+				fault.Schedule{Sensor: cfg.Sensors, Injector: fault.Outage{}, End: 72 * time.Hour},
+				fault.Schedule{Sensor: 1, Injector: fault.Outage{}, Start: 96 * time.Hour},
+				fault.Schedule{Sensor: 2, Injector: fault.Outage{}, Start: 60 * time.Hour, End: 60*time.Hour + 90*time.Minute},
+			)
+			if err != nil {
+				return nil, err
+			}
+			gen := baseGen(cfg)
+			gen.Sensors = cfg.Sensors + 1 // the joiner
+			tr, err := gdi.Generate(gen, network.WithFaults(plan))
+			if err != nil {
+				return nil, err
+			}
+			readings := toWire(tr, cfg.Deployment)
+			return &Run{
+				Window:   corpusWindow,
+				Readings: readings,
+				Truth:    buildTruth(readings, corpusWindow),
+			}, nil
+		},
+	})
+}
+
+// error-stuck: the paper's canonical fault — one sensor's readings freeze at
+// a fixed value (§3.3 Stuck-at).
+func registerErrorStuck() {
+	register(&builder{
+		spec: Spec{
+			Name:        "error-stuck",
+			Class:       LabelError,
+			Summary:     "one sensor stuck at (18°C, 55%) from 48h — the paper's Stuck-at error",
+			Expected:    "stuck-at",
+			MinDays:     4,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "value", Value: "(18, 55)", Effect: "the frozen reading"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			plan, err := fault.NewPlan(fault.Schedule{
+				Sensor:   faultySensor(cfg.Sensors),
+				Injector: fault.StuckAt{Value: vecmat.Vector{18, 55}},
+				Start:    corpusOnset,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return traceRun(cfg,
+				[]onsetSpec{{at: corpusOnset, label: LabelError, phase: "stuck-at"}},
+				network.WithFaults(plan))
+		},
+	})
+}
+
+// error-noise: one sensor's variance explodes while its mean stays honest
+// (§3.3 Random-Noise).
+func registerErrorNoise() {
+	register(&builder{
+		spec: Spec{
+			Name:        "error-noise",
+			Class:       LabelError,
+			Summary:     "one sensor develops zero-mean noise (σ 6°C, 15%) from 48h — the Random-Noise error",
+			Expected:    "random-noise",
+			MinDays:     4,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "sigma", Value: "(6, 15)", Effect: "per-attribute noise standard deviation"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			noise, err := fault.NewRandomNoise([]float64{6, 15}, cfg.Seed+11)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := fault.NewPlan(fault.Schedule{
+				Sensor:   4 % cfg.Sensors,
+				Injector: noise,
+				Start:    corpusOnset,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return traceRun(cfg,
+				[]onsetSpec{{at: corpusOnset, label: LabelError, phase: "random-noise"}},
+				network.WithFaults(plan))
+		},
+	})
+}
+
+// error-interference: two independent faults at once — a miscalibrated
+// sensor and a dying one thinning out. Independent faults are still errors;
+// the detector must not read their coincidence as coordination.
+func registerErrorInterference() {
+	register(&builder{
+		spec: Spec{
+			Name:        "error-interference",
+			Class:       LabelError,
+			Summary:     "two independent faults from 48h: a 1.3× calibration error plus an intermittent additive fault",
+			Expected:    "calibration",
+			MinDays:     4,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "factors", Value: "(1.3, 0.8)", Effect: "multiplicative miscalibration"},
+				{Name: "offsets", Value: "(7, -9)", Effect: "second sensor's additive offset"},
+				{Name: "drop_rate", Value: "0.5", Effect: "second sensor's message thinning"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			thin, err := fault.NewIntermittent(0.5, cfg.Seed+13)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := fault.NewPlan(
+				fault.Schedule{
+					Sensor:   faultySensor(cfg.Sensors),
+					Injector: fault.Calibration{Factors: vecmat.Vector{1.3, 0.8}},
+					Start:    corpusOnset,
+				},
+				fault.Schedule{
+					Sensor:   1,
+					Injector: fault.Additive{Offsets: vecmat.Vector{7, -9}},
+					Start:    corpusOnset,
+				},
+				fault.Schedule{Sensor: 1, Injector: thin, Start: corpusOnset},
+			)
+			if err != nil {
+				return nil, err
+			}
+			return traceRun(cfg,
+				[]onsetSpec{{at: corpusOnset, label: LabelError, phase: "interference"}},
+				network.WithFaults(plan))
+		},
+	})
+}
+
+// attack-creation-minority: the paper's Dynamic Creation mounted by a
+// minority (a third of the fleet), gated to the small hours of every night —
+// the part-time variant that produces the split-row B^CO signature.
+func registerAttackCreationMinority() {
+	register(&builder{
+		spec: Spec{
+			Name:        "attack-creation-minority",
+			Class:       LabelAttack,
+			Summary:     "a third of the fleet fakes a (14°C, 66%) state nightly 00:00–03:30 from 48h — gated Dynamic Creation",
+			Expected:    "dynamic-creation",
+			MinDays:     5,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "malicious", Value: "sensors/3", Effect: "compromised minority size"},
+				{Name: "gate", Value: "nightly 00:00–03:30", Effect: "attack strikes only part of each day"},
+				{Name: "jitter", Value: "σ 0.3", Effect: "per-sensor spread of the solved injection"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			adv, err := newAdversary(sensorIDs(minoritySize(cfg.Sensors)), cfg.Seed+17, 0.3)
+			if err != nil {
+				return nil, err
+			}
+			active, err := attack.PeriodicGate(24*time.Hour, 0, 3*time.Hour+30*time.Minute)
+			if err != nil {
+				return nil, err
+			}
+			strat := &attack.Gated{
+				Inner:  &attack.DynamicCreation{Adversary: adv, Target: creationTarget(), Start: corpusOnset},
+				Active: active,
+			}
+			return traceRun(cfg,
+				[]onsetSpec{{at: corpusOnset, label: LabelAttack, phase: "gated-creation"}},
+				network.WithAttack(strat))
+		},
+	})
+}
+
+// attack-collusion-majority: a colluding majority breaks the quorum
+// assumption the per-window diagnosis rests on — the honest sensors become
+// the outvoted minority. The structural B^CO evidence is what's left.
+func registerAttackCollusionMajority() {
+	register(&builder{
+		spec: Spec{
+			Name:        "attack-collusion-majority",
+			Class:       LabelAttack,
+			Summary:     "a colluding majority displaces the mean by (+5°C, −12%) from 48h, outvoting the honest minority",
+			Expected:    "dynamic-change",
+			MinDays:     4,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "malicious", Value: "sensors/2 + 1", Effect: "compromised majority size"},
+				{Name: "offset", Value: "(+5, −12)", Effect: "Dynamic-Change displacement"},
+				{Name: "jitter", Value: "σ 0.3", Effect: "per-sensor spread of the solved injection"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			adv, err := newAdversary(sensorIDs(cfg.Sensors/2+1), cfg.Seed+19, 0.3)
+			if err != nil {
+				return nil, err
+			}
+			strat := &attack.DynamicChange{
+				Adversary: adv,
+				Offset:    vecmat.Vector{5, -12},
+				Start:     corpusOnset,
+			}
+			return traceRun(cfg,
+				[]onsetSpec{{at: corpusOnset, label: LabelAttack, phase: "collusion"}},
+				network.WithAttack(strat))
+		},
+	})
+}
+
+// attack-replay-stale: compromised sensors substitute their own 12h-old
+// readings (plausible values, broken temporal alignment), and the attacker
+// also re-posts a captured wire segment verbatim — stale timestamps, stale
+// sequence numbers — which the ingest dedup high-water mark must swallow.
+func registerAttackReplayStale() {
+	register(&builder{
+		spec: Spec{
+			Name:        "attack-replay-stale",
+			Class:       LabelAttack,
+			Summary:     "a third of the fleet replays its own 12h-old readings from 48h; captured frames are also re-posted with stale seqs",
+			Expected:    "dynamic-change",
+			MinDays:     4,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "delay", Value: "12h", Effect: "staleness of the replayed values (day↔night inversion)"},
+				{Name: "dup_segment", Value: "36h–44h", Effect: "captured wire segment re-posted verbatim at +12h"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			adv, err := newAdversary(sensorIDs(minoritySize(cfg.Sensors)), cfg.Seed+23, 0)
+			if err != nil {
+				return nil, err
+			}
+			strat := &attack.Replay{Adversary: adv, Delay: 12 * time.Hour, Start: corpusOnset}
+			tr, err := gdi.Generate(baseGen(cfg), network.WithAttack(strat))
+			if err != nil {
+				return nil, err
+			}
+			legit := toWire(tr, cfg.Deployment)
+			// The wire-replay half: every captured frame between 36h and 44h
+			// is re-posted 12h later, timestamp and sequence number intact.
+			// The dedup high-water mark must drop all of them; any that leak
+			// through would land in long-closed windows anyway.
+			var dups []keyed
+			for _, r := range legit {
+				if r.Time >= 36*time.Hour && r.Time < 44*time.Hour {
+					dups = append(dups, keyed{at: r.Time + 12*time.Hour, r: r})
+				}
+			}
+			readings := mergeExtras(legit, dups)
+			return &Run{
+				Window:   corpusWindow,
+				Readings: readings,
+				Truth: buildTruth(readings, corpusWindow,
+					onsetSpec{at: corpusOnset, label: LabelAttack, phase: "replay"}),
+			}, nil
+		},
+	})
+}
+
+// attack-spoof-inject: the attacker never compromises a real mote — it
+// forges frames from three phantom sensors under a stolen deployment key,
+// reporting a fabricated state on the legitimate cadence.
+func registerAttackSpoofInject() {
+	register(&builder{
+		spec: Spec{
+			Name:        "attack-spoof-inject",
+			Class:       LabelAttack,
+			Summary:     "three phantom sensors forge (14°C, 66%) frames under the deployment key from 48h — pure wire-level spoofing",
+			Expected:    "dynamic-creation",
+			MinDays:     4,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "phantoms", Value: "sensors 100–102", Effect: "forged IDs never seen during bootstrap"},
+				{Name: "target", Value: "(14, 66)", Effect: "fabricated environment state"},
+				{Name: "jitter", Value: "σ (0.5, 1.0)", Effect: "per-frame spread so phantoms don't agree exactly"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			tr, err := gdi.Generate(baseGen(cfg))
+			if err != nil {
+				return nil, err
+			}
+			legit := toWire(tr, cfg.Deployment)
+			end := time.Duration(cfg.Days) * 24 * time.Hour
+			rng := rand.New(rand.NewSource(cfg.Seed + 29))
+			target := creationTarget()
+			var forged []keyed
+			for t := corpusOnset; t < end; t += 5 * time.Minute {
+				for p := 0; p < 3; p++ {
+					v := vecmat.Vector{
+						target[0] + rng.NormFloat64()*0.5,
+						target[1] + rng.NormFloat64()*1.0,
+					}
+					forged = append(forged, keyed{at: t, r: ingest.Reading{
+						Deployment: cfg.Deployment,
+						// Seq 0: forged frames sit outside the producer's
+						// retransmission numbering.
+						Reading: sensor.Reading{
+							Sensor: 100 + p,
+							Time:   t,
+							Values: sensor.ClampVector(v, gdi.Ranges()),
+						},
+					}})
+				}
+			}
+			readings := mergeExtras(legit, forged)
+			return &Run{
+				Window:   corpusWindow,
+				Readings: readings,
+				Truth: buildTruth(readings, corpusWindow,
+					onsetSpec{at: corpusOnset, label: LabelAttack, phase: "spoof"}),
+			}, nil
+		},
+	})
+}
+
+// attack-flood-burst: three compromised motes burst 20×-oversampled forged
+// frames pinned at the creation target for two hours a day — a campaign
+// that pressures the collector's queues and overflow policy while also
+// carrying a classification signal.
+func registerAttackFloodBurst() {
+	register(&builder{
+		spec: Spec{
+			Name:        "attack-flood-burst",
+			Class:       LabelAttack,
+			Summary:     "three motes flood 15s-cadence forged (14°C, 66%) frames for 2h daily from 48h — burst load plus injection",
+			Expected:    "dynamic-creation",
+			MinDays:     4,
+			DefaultDays: corpusDays,
+			Knobs: []Knob{
+				{Name: "burst", Value: "2h every 24h", Effect: "daily flood window"},
+				{Name: "cadence", Value: "15s (20× oversampled)", Effect: "queue pressure during bursts"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			tr, err := gdi.Generate(baseGen(cfg))
+			if err != nil {
+				return nil, err
+			}
+			legit := toWire(tr, cfg.Deployment)
+			end := time.Duration(cfg.Days) * 24 * time.Hour
+			rng := rand.New(rand.NewSource(cfg.Seed + 31))
+			target := creationTarget()
+			flooders := sensorIDs(minoritySize(cfg.Sensors))
+			var forged []keyed
+			for burst := corpusOnset; burst < end; burst += 24 * time.Hour {
+				stop := burst + 2*time.Hour
+				if stop > end {
+					stop = end
+				}
+				for t := burst; t < stop; t += 15 * time.Second {
+					for _, id := range flooders {
+						v := vecmat.Vector{
+							target[0] + rng.NormFloat64()*0.3,
+							target[1] + rng.NormFloat64()*0.6,
+						}
+						forged = append(forged, keyed{at: t, r: ingest.Reading{
+							Deployment: cfg.Deployment,
+							Reading: sensor.Reading{
+								Sensor: id,
+								Time:   t,
+								Values: sensor.ClampVector(v, gdi.Ranges()),
+							},
+						}})
+					}
+				}
+			}
+			readings := mergeExtras(legit, forged)
+			return &Run{
+				Window:   corpusWindow,
+				Readings: readings,
+				Truth: buildTruth(readings, corpusWindow,
+					onsetSpec{at: corpusOnset, label: LabelAttack, phase: "flood"}),
+			}, nil
+		},
+	})
+}
+
+// composite-drift-attack: a sensor degrades (DecayToStuck — the paper's
+// GDI sensor 6 trajectory) and, three days into that, a minority mounts
+// Dynamic Creation. The truth transitions benign → error → attack; the
+// scorer's confusion matrix shows whether the detector tracks both.
+func registerCompositeDriftAttack() {
+	register(&builder{
+		spec: Spec{
+			Name:        "composite-drift-attack",
+			Class:       LabelAttack,
+			Summary:     "sensor decay from 48h (error), then a minority Dynamic Creation from 120h on top — error and attack coexist",
+			Expected:    "dynamic-creation",
+			MinDays:     7,
+			DefaultDays: 8,
+			Knobs: []Knob{
+				{Name: "decay", Value: "τ 12h to (2, 3)", Effect: "exponential degradation to a near-zero floor"},
+				{Name: "attack_onset", Value: "120h", Effect: "creation attack lands on an already-degraded fleet"},
+			},
+		},
+		build: func(cfg Config, _ Spec) (*Run, error) {
+			plan, err := fault.NewPlan(fault.Schedule{
+				Sensor:   faultySensor(cfg.Sensors),
+				Injector: fault.DecayToStuck{Floor: vecmat.Vector{2, 3}, TimeConstant: 12 * time.Hour},
+				Start:    corpusOnset,
+			})
+			if err != nil {
+				return nil, err
+			}
+			adv, err := newAdversary(sensorIDs(minoritySize(cfg.Sensors)), cfg.Seed+37, 0.3)
+			if err != nil {
+				return nil, err
+			}
+			strat := &attack.DynamicCreation{
+				Adversary: adv,
+				Target:    creationTarget(),
+				Start:     120 * time.Hour,
+			}
+			return traceRun(cfg,
+				[]onsetSpec{
+					{at: corpusOnset, label: LabelError, phase: "drift"},
+					{at: 120 * time.Hour, label: LabelAttack, phase: "drift+creation"},
+				},
+				network.WithFaults(plan), network.WithAttack(strat))
+		},
+	})
+}
+
+// sanity check at init: the corpus the issue commits to.
+func init() {
+	if len(corpus) < 8 {
+		panic(fmt.Sprintf("scenario: corpus holds %d scenarios, need at least 8", len(corpus)))
+	}
+}

@@ -1,0 +1,356 @@
+// Package scenario is the adversary-simulation corpus: a set of labeled
+// campaigns — wire-level reading streams with per-window ground-truth labels
+// — that exercise the detector well beyond the paper's canonical fault and
+// attack traces. Each campaign pairs a synthetic GDI deployment with an
+// injected behaviour (accidental faults, coordinated collusion, wire-level
+// replay/spoofing/flooding, benign churn, composites) and knows, window by
+// window, what a perfect detector should say. cmd/sgsim streams campaigns to
+// a live collector and the scorer in this package joins the ground truth
+// against the collector's /debug/decisions records, turning the corpus into
+// a per-scenario regression suite (the committed BENCH_scenarios.json).
+//
+// Labels are cumulative: once a fault or attack has begun, every later
+// window carries its label (attack dominating error), because the paper's
+// diagnosis — like the detector's — accumulates model structure rather than
+// re-deciding from scratch each window. Injections in the corpus are
+// therefore open-ended unless a scenario documents otherwise.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"sensorguard/internal/ingest"
+)
+
+// Label is a ground-truth (and predicted) window class.
+type Label string
+
+const (
+	// LabelBenign marks a window where nothing is wrong.
+	LabelBenign Label = "benign"
+	// LabelError marks a window affected by an accidental fault.
+	LabelError Label = "error"
+	// LabelAttack marks a window affected by a malicious attack.
+	LabelAttack Label = "attack"
+)
+
+// Config parameterises one campaign run. The zero value of every optional
+// field means "use the scenario's default"; DecodeConfig applies validation
+// and defaults. This is the JSON body of sgsim's POST /campaigns.
+type Config struct {
+	// Scenario names the corpus entry to run.
+	Scenario string `json:"scenario"`
+	// Seed freezes every random choice (trace, faults, adversary jitter),
+	// making a campaign byte-reproducible. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Days is the campaign length; 0 uses the scenario default. Must be at
+	// least the scenario's MinDays so every onset fits.
+	Days int `json:"days,omitempty"`
+	// Sensors is the mote count (default 10, the paper's setup).
+	Sensors int `json:"sensors,omitempty"`
+	// Deployment is the key the campaign streams under; empty derives
+	// "<scenario>-<seed>".
+	Deployment string `json:"deployment,omitempty"`
+	// Rate is the replay pacing multiplier over real time handed to the
+	// shipper driver (0 = as fast as possible). It does not alter the
+	// generated stream or labels.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// maxDays caps campaign length: two months of 5-minute samples is already
+// ~175k readings for the default fleet — enough for any regression corpus.
+const maxDays = 62
+
+// DecodeConfig parses and validates a campaign configuration, resolving the
+// scenario and applying its defaults. Unknown fields are rejected so a typo
+// in a knob name fails loudly instead of silently running the default.
+func DecodeConfig(data []byte) (Config, Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, nil, fmt.Errorf("scenario: bad config: %w", err)
+	}
+	if dec.More() {
+		return Config{}, nil, errors.New("scenario: trailing data after config object")
+	}
+	sc, err := c.normalize()
+	if err != nil {
+		return Config{}, nil, err
+	}
+	return c, sc, nil
+}
+
+// normalize validates c in place, resolving the scenario and filling
+// defaults. It is the single validation path for DecodeConfig and for
+// configs assembled directly in Go.
+func (c *Config) normalize() (Scenario, error) {
+	sc, ok := Lookup(c.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", c.Scenario, Names())
+	}
+	spec := sc.Spec()
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Days == 0 {
+		c.Days = spec.DefaultDays
+	}
+	if c.Days < spec.MinDays || c.Days > maxDays {
+		return nil, fmt.Errorf("scenario: %s needs days in [%d,%d], got %d",
+			spec.Name, spec.MinDays, maxDays, c.Days)
+	}
+	if c.Sensors == 0 {
+		c.Sensors = 10
+	}
+	// The corpus needs an honest quorum to be meaningful: at least 4
+	// sensors so a 3-sensor adversary cannot be the whole network, and a
+	// bounded count so a campaign cannot accidentally DoS the collector.
+	if c.Sensors < 4 || c.Sensors > 100 {
+		return nil, fmt.Errorf("scenario: sensors must be in [4,100], got %d", c.Sensors)
+	}
+	if c.Deployment == "" {
+		c.Deployment = fmt.Sprintf("%s-%d", spec.Name, c.Seed)
+	}
+	// Deployment keys end up in URL paths (/debug/decisions/{deployment})
+	// and sidecar filenames, so keep them to a safe charset.
+	if len(c.Deployment) > 128 || !safeDeployment(c.Deployment) {
+		return nil, fmt.Errorf("scenario: deployment %q must be 1-128 chars of [A-Za-z0-9._-]", c.Deployment)
+	}
+	if c.Rate < 0 {
+		return nil, fmt.Errorf("scenario: rate must be non-negative, got %v", c.Rate)
+	}
+	return sc, nil
+}
+
+// safeDeployment reports whether the key uses only [A-Za-z0-9._-].
+func safeDeployment(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Knob documents one parameter a scenario exposes, for docs/SCENARIOS.md
+// and sgsim's GET /scenarios.
+type Knob struct {
+	Name   string `json:"name"`
+	Value  string `json:"value"`
+	Effect string `json:"effect"`
+}
+
+// Spec is a scenario's identity card: its truth class, what the detector is
+// expected to conclude, and the knobs the campaign exposes.
+type Spec struct {
+	// Name is the corpus key.
+	Name string `json:"name"`
+	// Class is the headline ground-truth class of the campaign's anomaly
+	// phase (benign scenarios stay LabelBenign throughout).
+	Class Label `json:"class"`
+	// Summary is one line for docs and the control API.
+	Summary string `json:"summary"`
+	// Expected is the detector verdict the committed corpus scores pin —
+	// "none" for benign controls, a classify.Kind name otherwise. For
+	// beyond-paper probes this records measured behaviour, not a promise
+	// (see docs/SCENARIOS.md).
+	Expected string `json:"expected_verdict"`
+	// MinDays and DefaultDays bound and default the campaign length; every
+	// onset in the scenario fits inside MinDays.
+	MinDays     int `json:"min_days"`
+	DefaultDays int `json:"default_days"`
+	// Knobs documents the fixed parameters of the campaign.
+	Knobs []Knob `json:"knobs,omitempty"`
+}
+
+// WindowTruth is the ground-truth label of one observation window.
+type WindowTruth struct {
+	// Window is the absolute window ordinal (event time / window width),
+	// matching core.DecisionRecord.Window.
+	Window int `json:"window"`
+	// Label is the cumulative ground truth for this window.
+	Label Label `json:"label"`
+	// Phase names the campaign phase for humans ("clean", "drift",
+	// "collusion", ...). Scoring ignores it.
+	Phase string `json:"phase,omitempty"`
+}
+
+// Run is one built campaign: the wire-level stream to ship and the ground
+// truth to score against.
+type Run struct {
+	// Spec and Config identify what was built.
+	Spec   Spec   `json:"spec"`
+	Config Config `json:"config"`
+	// Window is the observation window width the truth is expressed in
+	// (the collector must window at the same width — 1h, the default).
+	Window time.Duration `json:"-"`
+	// WindowSec mirrors Window for the JSON sidecar.
+	WindowSec float64 `json:"window_sec"`
+	// Readings is the stream in ship order. Most readings carry the
+	// producer wire sequence; forged wire-level injections carry Seq 0
+	// (an attacker does not participate in the producer's retransmission
+	// discipline) and replayed duplicates reuse stale sequence numbers.
+	Readings []ingest.Reading `json:"-"`
+	// Truth holds one label per window, ascending, starting at window 0.
+	Truth []WindowTruth `json:"truth"`
+}
+
+// OnsetWindow returns the first window whose truth label is not benign, or
+// -1 for an all-benign run.
+func (r *Run) OnsetWindow() int {
+	for _, wt := range r.Truth {
+		if wt.Label != LabelBenign {
+			return wt.Window
+		}
+	}
+	return -1
+}
+
+// Scenario is one corpus entry: a named, parameterised campaign builder.
+type Scenario interface {
+	// Spec returns the scenario's identity card.
+	Spec() Spec
+	// Build generates the campaign for a validated config. Building is
+	// deterministic: equal configs yield byte-identical runs.
+	Build(cfg Config) (*Run, error)
+}
+
+// builder implements Scenario around a build function.
+type builder struct {
+	spec  Spec
+	build func(cfg Config, spec Spec) (*Run, error)
+}
+
+func (b *builder) Spec() Spec { return b.spec }
+
+func (b *builder) Build(cfg Config) (*Run, error) {
+	if _, err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Scenario != b.spec.Name {
+		return nil, fmt.Errorf("scenario: config for %q handed to %q", cfg.Scenario, b.spec.Name)
+	}
+	run, err := b.build(cfg, b.spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", b.spec.Name, err)
+	}
+	run.Spec = b.spec
+	run.Config = cfg
+	run.WindowSec = run.Window.Seconds()
+	return run, nil
+}
+
+// corpus is the ordered scenario registry, populated by corpus.go.
+var corpus []Scenario
+
+// register adds a scenario at package init; duplicate names are a bug.
+func register(s Scenario) {
+	for _, have := range corpus {
+		if have.Spec().Name == s.Spec().Name {
+			panic("scenario: duplicate registration of " + s.Spec().Name)
+		}
+	}
+	corpus = append(corpus, s)
+	sort.Slice(corpus, func(i, j int) bool { return corpus[i].Spec().Name < corpus[j].Spec().Name })
+}
+
+// Corpus returns every registered scenario, ordered by name.
+func Corpus() []Scenario {
+	return append([]Scenario(nil), corpus...)
+}
+
+// Lookup resolves a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range corpus {
+		if s.Spec().Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the corpus scenario names, ordered.
+func Names() []string {
+	out := make([]string, len(corpus))
+	for i, s := range corpus {
+		out[i] = s.Spec().Name
+	}
+	return out
+}
+
+// truthHeader is the first line of a ground-truth sidecar file.
+type truthHeader struct {
+	Scenario  string  `json:"scenario"`
+	Config    Config  `json:"config"`
+	WindowSec float64 `json:"window_sec"`
+	Windows   int     `json:"windows"`
+}
+
+// WriteTruth streams a run's ground truth as NDJSON: one header line, then
+// one WindowTruth per line — the label sidecar sgsim writes next to every
+// campaign it ships.
+func WriteTruth(w io.Writer, run *Run) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(truthHeader{
+		Scenario:  run.Spec.Name,
+		Config:    run.Config,
+		WindowSec: run.Window.Seconds(),
+		Windows:   len(run.Truth),
+	}); err != nil {
+		return err
+	}
+	for _, wt := range run.Truth {
+		if err := enc.Encode(wt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTruth decodes a sidecar written by WriteTruth into a skeletal Run
+// (spec resolved from the header, readings absent) sufficient for scoring.
+func ReadTruth(r io.Reader) (*Run, error) {
+	dec := json.NewDecoder(r)
+	var hdr truthHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("scenario: truth sidecar header: %w", err)
+	}
+	if hdr.WindowSec <= 0 {
+		return nil, fmt.Errorf("scenario: truth sidecar has window_sec %v", hdr.WindowSec)
+	}
+	sc, ok := Lookup(hdr.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("scenario: truth sidecar names unknown scenario %q", hdr.Scenario)
+	}
+	run := &Run{
+		Spec:      sc.Spec(),
+		Config:    hdr.Config,
+		Window:    time.Duration(hdr.WindowSec * float64(time.Second)),
+		WindowSec: hdr.WindowSec,
+	}
+	for {
+		var wt WindowTruth
+		if err := dec.Decode(&wt); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("scenario: truth sidecar line %d: %w", len(run.Truth)+2, err)
+		}
+		run.Truth = append(run.Truth, wt)
+	}
+	if len(run.Truth) != hdr.Windows {
+		return nil, fmt.Errorf("scenario: truth sidecar holds %d windows, header says %d",
+			len(run.Truth), hdr.Windows)
+	}
+	return run, nil
+}
