@@ -1,7 +1,7 @@
 GO ?= go
 BENCHSTAT ?= $(GO) run golang.org/x/perf/cmd/benchstat@latest
 
-.PHONY: build test race lint bench bench-smoke bench-compare scenarios scenarios-smoke
+.PHONY: build test race lint bench bench-smoke bench-compare scenarios scenarios-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,16 @@ scenarios-smoke:
 	$(GO) run ./cmd/sgsim -score-corpus \
 		-scenarios benign-control,error-stuck,attack-collusion-majority,attack-replay-stale \
 		-out BENCH_scenarios_smoke.json
+
+# chaos runs the fault-injection harness of docs/RESILIENCE.md under the
+# race detector: seeded disk faults (ENOSPC, EIO, torn writes) under the
+# journal and checkpoint paths, network faults under the ingest listener and
+# shipper, plus the torn-checkpoint and degraded-crash convergence proofs.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestChaosEndToEnd|TestSentinelTornCheckpointRecovery|TestJournalFaultDegradesThenRecovers|TestDegradedCrashConvergence|TestCheckpointFailureCoolsDownAndSurfaces|TestTCPAcceptRetriesTransientErrors' \
+		./cmd/sentinel ./internal/fleet ./internal/ingest
+	$(GO) test -race -count=1 ./internal/chaos
 
 # bench-compare diffs the committed seed and after trajectories with
 # benchstat (fetches benchstat on first use; needs network).

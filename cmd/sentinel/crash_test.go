@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"syscall"
 	"testing"
@@ -202,6 +204,89 @@ func postIngestOnce(client *http.Client, url string, body []byte) error {
 		return fmt.Errorf("post: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
 	return nil
+}
+
+// TestSentinelTornCheckpointRecovery covers checkpoint damage on top of a
+// kill: after the crash, the newest checkpoint of every shard that has one is
+// truncated mid-file (media damage the all-or-nothing decoder must reject)
+// and a stray .ckpt.tmp is planted (what a crash between the temp write and
+// the rename leaves). Recovery must treat the previous checkpoint plus
+// journal replay as authoritative, clean the temporaries on startup, and
+// still converge byte-identically.
+func TestSentinelTornCheckpointRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash harness")
+	}
+	batches := crashTraceBatches(t, 200)
+
+	ref := startSentinel(t, t.TempDir(), false)
+	postBatches(t, ref.ingest, batches)
+	ref.stop(t)
+	want := ref.out.Bytes()
+	if len(want) == 0 {
+		t.Fatalf("reference run produced no report; stderr:\n%s", ref.errOut.String())
+	}
+
+	dir := t.TempDir()
+	victim := startSentinel(t, dir, false)
+	cut := 3 * len(batches) / 4
+	postBatches(t, victim.ingest, batches[:cut])
+	victim.kill(t)
+
+	shardDirs, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil || len(shardDirs) == 0 {
+		t.Fatalf("no shard directories under %s: %v", dir, err)
+	}
+	damaged := 0
+	for _, sdir := range shardDirs {
+		// Fixed-width hex names sort lexicographically in sequence order.
+		ckpts, err := filepath.Glob(filepath.Join(sdir, "checkpoint-*.ckpt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(ckpts)
+		if len(ckpts) > 1 { // keep an older checkpoint to fall back to
+			newest := ckpts[len(ckpts)-1]
+			data, err := os.ReadFile(newest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(newest, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			damaged++
+		}
+		stray := filepath.Join(sdir, "checkpoint-ffffffffffffffff.ckpt.tmp")
+		if err := os.WriteFile(stray, []byte("partial checkpoint garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if damaged == 0 {
+		t.Fatal("no shard had two checkpoints to damage — cut point too early for the test to mean anything")
+	}
+
+	revived := startSentinel(t, dir, true)
+	for _, sdir := range shardDirs {
+		tmps, err := filepath.Glob(filepath.Join(sdir, "*.tmp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tmps) != 0 {
+			t.Errorf("stray temporaries survived recovery in %s: %v", sdir, tmps)
+		}
+	}
+	resume := cut - 2
+	if resume < 0 {
+		resume = 0
+	}
+	postBatches(t, revived.ingest, batches[resume:])
+	revived.stop(t)
+	got := revived.out.Bytes()
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("report after torn-checkpoint recovery differs from uninterrupted run\n--- recovered\n%s\n--- reference\n%s",
+			got, want)
+	}
 }
 
 // TestSentinelCrashRecovery is the harness proper: the acceptance criterion

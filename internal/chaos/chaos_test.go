@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFaultFSWindowAndError(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS, &Rule{Op: OpWrite, Path: ".wal", Err: syscall.ENOSPC, After: 2, Count: 2})
+	w, err := f.OpenFile(filepath.Join(dir, "x.wal"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i, wantErr := range []bool{false, false, true, true, false, false} {
+		_, err := w.Write([]byte("abcd"))
+		if (err != nil) != wantErr {
+			t.Fatalf("write %d: err=%v, want failure=%v", i, err, wantErr)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("write %d error %v should wrap ErrInjected and ENOSPC", i, err)
+			}
+		}
+	}
+	if got := f.Injected(); got != 2 {
+		t.Fatalf("Injected() = %d, want 2", got)
+	}
+	// Path filter: a non-matching file never faults.
+	other, err := f.OpenFile(filepath.Join(dir, "y.ckpt"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, err := other.Write([]byte("ok")); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.wal")
+	f := NewFaultFS(OS, &Rule{Op: OpWrite, Err: syscall.EIO, Torn: 3})
+	w, err := f.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := w.Write([]byte("abcdefgh"))
+	w.Close()
+	if werr == nil || n != 3 {
+		t.Fatalf("torn write: n=%d err=%v, want n=3 with error", n, werr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "abc" {
+		t.Fatalf("file holds %q, want the torn prefix \"abc\"", data)
+	}
+}
+
+func TestFaultFSClearHeals(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS, &Rule{Op: OpRename, Err: syscall.EIO})
+	src := filepath.Join(dir, "a")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(src, filepath.Join(dir, "b")); err == nil {
+		t.Fatal("rename should fault")
+	}
+	f.Clear()
+	if err := f.Rename(src, filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("rename after Clear: %v", err)
+	}
+}
+
+func TestFaultFSSeededIsDeterministic(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		f := NewFaultFSSeeded(OS, seed, &Rule{Op: OpRemove, Prob: 0.5, Err: syscall.EIO})
+		dir := t.TempDir()
+		var out []bool
+		for i := 0; i < 32; i++ {
+			p := filepath.Join(dir, "f")
+			if err := os.WriteFile(p, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := f.Remove(p)
+			out = append(out, err != nil)
+			if err != nil {
+				os.Remove(p)
+			}
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	same := true
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	if !varied {
+		t.Fatal("probabilistic schedule never varied — Prob not applied")
+	}
+}
+
+func TestListenerAcceptFaultsThenServes(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner)
+	defer ln.Close()
+	ln.FailNextAccepts(3, syscall.EMFILE)
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Close()
+		}
+		done <- err
+	}()
+
+	fails := 0
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Temporary() { //nolint:staticcheck // asserting the injected shape
+				t.Fatalf("injected accept error %v is not a temporary net.Error", err)
+			}
+			fails++
+			continue
+		}
+		c.Close()
+		break
+	}
+	if fails != 3 {
+		t.Fatalf("saw %d injected accept failures, want 3", fails)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+}
+
+func TestWrapConnCutsMidStream(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	wrapped := WrapConn(client, ConnFaults{CutWriteAfter: 4})
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := wrapped.Write([]byte("abcd")); err != nil {
+		t.Fatalf("first write within budget: %v", err)
+	}
+	if _, err := wrapped.Write([]byte("efgh")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past cut = %v, want ErrInjected", err)
+	}
+}

@@ -1,0 +1,269 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected tags every fault this package injects, so tests and operators
+// can tell a chaos-made error from a real one. Injected errors wrap both
+// ErrInjected and the rule's Err (e.g. syscall.ENOSPC), so errors.Is works
+// against either.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Op identifies one class of filesystem operation a Rule can target.
+type Op int
+
+const (
+	// OpOpen matches FS.OpenFile.
+	OpOpen Op = iota
+	// OpWrite matches File.Write.
+	OpWrite
+	// OpSync matches File.Sync and FS.SyncDir.
+	OpSync
+	// OpRename matches FS.Rename.
+	OpRename
+	// OpRemove matches FS.Remove.
+	OpRemove
+	// OpRead matches FS.ReadFile.
+	OpRead
+	// OpMkdir matches FS.MkdirAll.
+	OpMkdir
+)
+
+var opNames = map[Op]string{
+	OpOpen: "open", OpWrite: "write", OpSync: "sync", OpRename: "rename",
+	OpRemove: "remove", OpRead: "read", OpMkdir: "mkdir",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Rule is one entry in a fault schedule. A rule matches an operation when the
+// Op kind matches and Path is a substring of the operation's target path
+// (empty Path matches everything). Matching operations are counted; the rule
+// injects on matches in (After, After+Count] — After skips a healthy prefix,
+// Count bounds the fault window (Count 0 = every match past After). With
+// Prob set, each in-window match additionally flips the FaultFS's seeded
+// coin, so a schedule can be probabilistic yet reproducible.
+type Rule struct {
+	// Op is the operation class this rule targets.
+	Op Op
+	// Path is a substring filter on the target path ("" matches any).
+	Path string
+	// Err is the error to inject (e.g. syscall.ENOSPC, syscall.EIO). The
+	// injected error wraps both Err and ErrInjected. Nil with Delay set
+	// makes a slow-only rule; nil without Delay defaults to ErrInjected.
+	Err error
+	// After skips the first After matching operations.
+	After int
+	// Count bounds how many matches inject (0 = unlimited past After).
+	Count int
+	// Prob, when in (0,1), injects on each in-window match with this
+	// probability, drawn from the FaultFS's seeded generator.
+	Prob float64
+	// Torn, for OpWrite, writes only the first Torn bytes of the payload
+	// before failing — a torn write, the partial frame a crash or a full
+	// disk leaves behind.
+	Torn int
+	// Delay sleeps this long before the operation proceeds (or fails) — an
+	// overloaded or degraded device.
+	Delay time.Duration
+
+	seen int // matches observed so far (guarded by the FaultFS mutex)
+}
+
+// verdict is one rule's decision about one operation.
+type verdict struct {
+	delay time.Duration
+	torn  int
+	err   error
+}
+
+// FaultFS wraps an FS with a rule-driven fault schedule. The zero value is
+// not usable; build one with NewFaultFS. Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu    sync.Mutex
+	rules []*Rule
+	rng   *rand.Rand
+
+	injected atomic.Uint64
+}
+
+// NewFaultFS wraps inner with the given rules. Probabilistic rules draw from
+// a generator seeded with 1; use NewFaultFSSeeded to pick the seed.
+func NewFaultFS(inner FS, rules ...*Rule) *FaultFS {
+	return NewFaultFSSeeded(inner, 1, rules...)
+}
+
+// NewFaultFSSeeded is NewFaultFS with an explicit seed for probabilistic
+// rules, so a randomized schedule replays identically.
+func NewFaultFSSeeded(inner FS, seed int64, rules ...*Rule) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner, rules: rules, rng: rand.New(rand.NewSource(seed))}
+}
+
+// AddRule appends a rule to the schedule.
+func (f *FaultFS) AddRule(r *Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, r)
+}
+
+// Clear drops every rule: the filesystem heals.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Injected returns how many operations have had a fault injected.
+func (f *FaultFS) Injected() uint64 { return f.injected.Load() }
+
+// decide evaluates the schedule for one operation. The first matching rule
+// wins; its match counter advances whether or not the window has opened yet.
+func (f *FaultFS) decide(op Op, path string) (verdict, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			return verdict{}, false
+		}
+		if r.Count > 0 && r.seen > r.After+r.Count {
+			return verdict{}, false
+		}
+		if r.Prob > 0 && r.Prob < 1 && f.rng.Float64() >= r.Prob {
+			return verdict{}, false
+		}
+		v := verdict{delay: r.Delay, torn: r.Torn}
+		switch {
+		case r.Err != nil:
+			v.err = fmt.Errorf("%w: %s %s: %w", ErrInjected, op, path, r.Err)
+		case r.Delay <= 0 || r.Torn > 0:
+			v.err = fmt.Errorf("%w: %s %s", ErrInjected, op, path)
+		}
+		f.injected.Add(1)
+		return v, true
+	}
+	return verdict{}, false
+}
+
+// run applies one non-write operation's verdict around fn.
+func (f *FaultFS) run(op Op, path string, fn func() error) error {
+	v, ok := f.decide(op, path)
+	if !ok {
+		return fn()
+	}
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return v.err
+	}
+	return fn()
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	v, ok := f.decide(OpOpen, name)
+	if ok {
+		if v.delay > 0 {
+			time.Sleep(v.delay)
+		}
+		if v.err != nil {
+			return nil, v.err
+		}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	return f.run(OpRename, newpath, func() error { return f.inner.Rename(oldpath, newpath) })
+}
+
+func (f *FaultFS) Remove(name string) error {
+	return f.run(OpRemove, name, func() error { return f.inner.Remove(name) })
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	v, ok := f.decide(OpRead, name)
+	if ok {
+		if v.delay > 0 {
+			time.Sleep(v.delay)
+		}
+		if v.err != nil {
+			return nil, v.err
+		}
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.inner.ReadDir(name) }
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.run(OpMkdir, path, func() error { return f.inner.MkdirAll(path, perm) })
+}
+
+func (f *FaultFS) SyncDir(path string) error {
+	return f.run(OpSync, path, func() error { return f.inner.SyncDir(path) })
+}
+
+// faultFile applies the schedule to writes and syncs on one open file.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	v, ok := ff.fs.decide(OpWrite, ff.name)
+	if !ok {
+		return ff.inner.Write(p)
+	}
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err == nil {
+		return ff.inner.Write(p) // slow-only rule
+	}
+	if v.torn > 0 && v.torn < len(p) {
+		// A torn write: part of the payload lands before the device fails,
+		// exactly the partial frame recovery must treat as a damaged tail.
+		n, werr := ff.inner.Write(p[:v.torn])
+		if werr != nil {
+			return n, werr
+		}
+		return n, v.err
+	}
+	return 0, v.err
+}
+
+func (ff *faultFile) Sync() error {
+	return ff.fs.run(OpSync, ff.name, ff.inner.Sync)
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

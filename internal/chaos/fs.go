@@ -1,0 +1,79 @@
+// Package chaos is the fault-injection layer the resilience tests and the
+// chaos harness stand on. It provides the seams the serving stack does real
+// I/O through — a filesystem interface threaded through the journal and
+// checkpoint writers, and net.Listener/net.Conn/dialer wrappers on the wire
+// paths — plus fault-injecting implementations that fail, slow, or tear
+// those operations on a deterministic, rule-driven (optionally seeded)
+// schedule.
+//
+// Production code always runs against the passthrough implementations (OS
+// for disk, the unwrapped listener for the wire); the injectors exist so
+// tests can prove the degradation machinery — journal circuit breaker,
+// checkpoint cooldown, accept-loop retry — against the exact error surfaces
+// (ENOSPC, EIO, EMFILE, resets, torn writes) real infrastructure produces.
+package chaos
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the slice of *os.File the durability layer writes through.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam: every disk operation the journal and checkpoint
+// paths perform goes through one of these methods, so a FaultFS can fail or
+// slow any of them.
+type FS interface {
+	// OpenFile opens a file for writing (journal segments, checkpoint
+	// temporaries).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically moves a finished checkpoint into place.
+	Rename(oldpath, newpath string) error
+	// Remove deletes pruned checkpoints, journal segments, and stray
+	// temporaries.
+	Remove(name string) error
+	// ReadFile loads a checkpoint or journal segment for recovery.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a shard directory's files.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll prepares the shard directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory so a rename survives power loss.
+	SyncDir(path string) error
+}
+
+// OS is the passthrough FS production code runs against.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the wire half of the chaos layer: a listener wrapper that
+// injects Accept errors (the EMFILE/ECONNABORTED class a loaded collector
+// sees), a conn wrapper that adds latency and cuts streams mid-flight, and a
+// dialer for the producer side (the gdigen/sgsim shipper), so both ends of
+// the ingest wire can be driven through partial network failure.
+
+// tempError is a net.Error whose Temporary() is true — the shape of
+// EMFILE/ECONNABORTED as surfaced by the net package, which an accept loop
+// must ride out rather than die on.
+type tempError struct{ err error }
+
+func (e tempError) Error() string   { return e.err.Error() }
+func (e tempError) Unwrap() error   { return e.err }
+func (e tempError) Timeout() bool   { return false }
+func (e tempError) Temporary() bool { return true }
+
+// TemporaryError wraps err as a temporary net.Error tagged ErrInjected.
+func TemporaryError(err error) net.Error {
+	if err == nil {
+		err = ErrInjected
+	}
+	return tempError{fmt.Errorf("%w: %w", ErrInjected, err)}
+}
+
+// ConnFaults parameterises one connection's failure behaviour. The zero
+// value injects nothing.
+type ConnFaults struct {
+	// Latency is added before every Read and Write — a congested path.
+	Latency time.Duration
+	// CutReadAfter severs the read side after this many bytes have been
+	// read: later Reads fail with an ErrInjected-tagged error, the way a
+	// mid-stream reset surfaces to the reader. Zero disables.
+	CutReadAfter int64
+	// CutWriteAfter severs the write side after this many bytes have been
+	// written. Zero disables.
+	CutWriteAfter int64
+}
+
+// WrapConn applies f to c. With zero faults c is returned untouched.
+func WrapConn(c net.Conn, f ConnFaults) net.Conn {
+	if f.Latency <= 0 && f.CutReadAfter <= 0 && f.CutWriteAfter <= 0 {
+		return c
+	}
+	return &faultConn{Conn: c, f: f}
+}
+
+type faultConn struct {
+	net.Conn
+	f       ConnFaults
+	read    atomic.Int64
+	written atomic.Int64
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.f.Latency > 0 {
+		time.Sleep(c.f.Latency)
+	}
+	if cut := c.f.CutReadAfter; cut > 0 && c.read.Load() >= cut {
+		c.Conn.Close() // a real reset kills both directions
+		return 0, fmt.Errorf("%w: connection cut after %d bytes read", ErrInjected, cut)
+	}
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.f.Latency > 0 {
+		time.Sleep(c.f.Latency)
+	}
+	if cut := c.f.CutWriteAfter; cut > 0 && c.written.Load() >= cut {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection cut after %d bytes written", ErrInjected, cut)
+	}
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// Listener wraps a net.Listener with injectable accept failures and
+// per-connection faults. Safe for concurrent use.
+type Listener struct {
+	inner net.Listener
+
+	mu         sync.Mutex
+	acceptErrs []error    // queued errors returned before real accepts
+	conn       ConnFaults // applied to every accepted connection
+	accepted   int
+}
+
+// WrapListener wraps ln; faults are queued afterwards with FailNextAccepts
+// and SetConnFaults.
+func WrapListener(ln net.Listener) *Listener { return &Listener{inner: ln} }
+
+// FailNextAccepts queues n copies of err (wrapped temporary when it is not
+// already a net.Error) to be returned by the next n Accept calls.
+func (l *Listener) FailNextAccepts(n int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if ne, ok := err.(net.Error); ok {
+			l.acceptErrs = append(l.acceptErrs, ne)
+		} else {
+			l.acceptErrs = append(l.acceptErrs, TemporaryError(err))
+		}
+	}
+}
+
+// SetConnFaults applies f to every subsequently accepted connection.
+func (l *Listener) SetConnFaults(f ConnFaults) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.conn = f
+}
+
+// Accepted returns how many connections have been accepted for real.
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if len(l.acceptErrs) > 0 {
+		err := l.acceptErrs[0]
+		l.acceptErrs = l.acceptErrs[1:]
+		l.mu.Unlock()
+		return nil, err
+	}
+	l.mu.Unlock()
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.accepted++
+	f := l.conn
+	l.mu.Unlock()
+	return WrapConn(c, f), nil
+}
+
+func (l *Listener) Close() error   { return l.inner.Close() }
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// DialFaults parameterises a fault-injecting dialer — the producer-side
+// (shipper) half of network chaos.
+type DialFaults struct {
+	// FailFirst makes the first n dials fail outright (connection refused:
+	// the collector is down or unreachable).
+	FailFirst int
+	// Conn is applied to every successfully dialed connection.
+	Conn ConnFaults
+}
+
+// Dialer returns a DialContext function (plugs into http.Transport) that
+// dials through net.Dialer and applies f. The FailFirst counter is shared
+// across calls, so "the first n connection attempts fail" reads naturally in
+// a test.
+func Dialer(f DialFaults) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	var dials atomic.Int64
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		if n := dials.Add(1); int(n) <= f.FailFirst {
+			return nil, fmt.Errorf("%w: dial %s refused (%d/%d)", ErrInjected, addr, n, f.FailFirst)
+		}
+		var d net.Dialer
+		c, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return WrapConn(c, f.Conn), nil
+	}
+}

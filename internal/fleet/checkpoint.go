@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"sensorguard/internal/chaos"
 	"sensorguard/internal/core"
 	"sensorguard/internal/ingest"
 	"sensorguard/internal/sensor"
@@ -168,39 +169,36 @@ func encodeCheckpoint(hdr checkpointHeader, deps []deploymentCheckpoint) ([]byte
 // writeCheckpoint atomically persists a checkpoint: write to a temporary
 // file, fsync it, rename into place, fsync the directory. Returns the byte
 // size written.
-func writeCheckpoint(dir string, hdr checkpointHeader, deps []deploymentCheckpoint) (int, error) {
+func writeCheckpoint(fsys chaos.FS, dir string, hdr checkpointHeader, deps []deploymentCheckpoint) (int, error) {
 	buf, err := encodeCheckpoint(hdr, deps)
 	if err != nil {
 		return 0, err
 	}
 	final := checkpointPath(dir, hdr.Seq)
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
 		return 0, err
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	_ = fsys.SyncDir(dir)
 	return len(buf), nil
 }
 
@@ -247,8 +245,8 @@ func decodeCheckpoint(data []byte, wantShard, wantShards int) (*checkpointFile, 
 
 // listCheckpoints returns the shard directory's checkpoints in ascending seq
 // order. Unparsable names (including leftover .tmp files) are ignored.
-func listCheckpoints(dir string) ([]journalSegment, error) {
-	entries, err := os.ReadDir(dir)
+func listCheckpoints(fsys chaos.FS, dir string) ([]journalSegment, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil

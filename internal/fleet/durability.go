@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	"log/slog"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"sensorguard/internal/chaos"
 	"sensorguard/internal/core"
 	"sensorguard/internal/ingest"
 	"sensorguard/internal/obs"
@@ -20,6 +22,13 @@ import (
 // enqueued, and a checkpoint at sequence S captures exactly the state of
 // sequences ≤ S — so recovery (newest valid checkpoint + journal-tail
 // replay) rebuilds the state a crash interrupted, byte for byte.
+//
+// Disk faults degrade that contract instead of failing ingest: a journal
+// write error flips the shard into a non-durable degraded state (readings
+// keep flowing from memory, counted as non-durable) while a circuit breaker
+// retries a fresh segment with exponential backoff; the first successful
+// reopen restores durability and forces a checkpoint to re-cover the
+// degraded window. See docs/RESILIENCE.md, "Degraded mode".
 type Durability struct {
 	// Dir is the root directory for checkpoints and journals (one
 	// subdirectory per shard). Empty disables durability entirely.
@@ -38,6 +47,21 @@ type Durability struct {
 	// it must mirror Config.NewDetector's parameters. Default:
 	// core.RestoreDetector over core.DefaultConfig with Window installed.
 	RestoreDetector func(*core.Snapshot) (*core.Detector, error)
+	// FS is the filesystem every journal and checkpoint operation goes
+	// through (default chaos.OS). The chaos harness swaps in a
+	// chaos.FaultFS to inject disk faults.
+	FS chaos.FS
+	// BreakerBase is the first retry delay after a journal write failure
+	// flips the shard to degraded; each failed reopen probe doubles it up
+	// to BreakerMax (defaults 500ms / 30s).
+	BreakerBase time.Duration
+	// BreakerMax caps the breaker's probe backoff.
+	BreakerMax time.Duration
+	// CheckpointCooldown is the first wait after a failed checkpoint
+	// before another attempt; consecutive failures double it up to 10x
+	// (default 10s). Without it a failed checkpoint would re-attempt on
+	// every due trigger — a tight retry loop against a broken disk.
+	CheckpointCooldown time.Duration
 }
 
 // durableShard is one shard's journal handle. nextSeq and the writer are
@@ -52,32 +76,145 @@ type Durability struct {
 // followers. N concurrently-submitted readings therefore share one write
 // instead of paying one syscall each; a lone committer degenerates to the
 // old one-write-per-entry behaviour.
+// When the disk fails, the durableShard becomes a circuit breaker: a write
+// error flips it open (degraded — commits assign sequences but skip the
+// write, so ingest keeps serving from memory), and after an exponentially
+// backed-off delay the next committer runs a half-open probe that tries to
+// open a fresh segment based at nextSeq. Success closes the breaker and
+// requests an immediate checkpoint (wantCkpt), shrinking the non-durable
+// window to the readings accepted while degraded.
 type durableShard struct {
-	dir     string
-	mu      sync.Mutex
-	idle    *sync.Cond // broadcast when flushing drops to false; rotation waits on it
-	journal *journalWriter
-	nextSeq uint64
+	dir           string
+	fs            chaos.FS
+	shard, shards int
+	mu            sync.Mutex
+	idle          *sync.Cond // broadcast when flushing drops to false; rotation waits on it
+	journal       *journalWriter
+	nextSeq       uint64
 
 	pending  *journalBatch // frames staged for the next flush (nil when none)
 	spare    []byte        // recycled batch buffer
 	flushing bool          // a leader is writing outside the lock
+
+	// Breaker state (guarded by mu). probeAt is when the next half-open
+	// probe may run; backoff doubles per failed probe.
+	degraded      bool
+	degradedSince time.Time
+	lastErr       error
+	lastErrAt     time.Time
+	probeAt       time.Time
+	backoff       time.Duration
+	nonDurable    uint64 // readings accepted while degraded (not journaled)
+
+	breakerBase, breakerMax time.Duration
+	wantCkpt                bool // set on breaker close; worker checkpoints ASAP
+	log                     *slog.Logger
+	degradeEdge             *obs.Counter // fleet_journal_degraded_total transitions
+}
+
+// journalState is a point-in-time view of the breaker for Status/Health.
+type journalState struct {
+	degraded      bool
+	degradedSince time.Time
+	lastErr       error
+	lastErrAt     time.Time
+	nonDurable    uint64
+}
+
+func (ds *durableShard) state() journalState {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return journalState{
+		degraded:      ds.degraded,
+		degradedSince: ds.degradedSince,
+		lastErr:       ds.lastErr,
+		lastErrAt:     ds.lastErrAt,
+		nonDurable:    ds.nonDurable,
+	}
+}
+
+// trip opens the breaker after a journal I/O failure. Caller holds mu.
+func (ds *durableShard) trip(err error) {
+	now := time.Now()
+	ds.lastErr = err
+	ds.lastErrAt = now
+	if !ds.degraded {
+		ds.degraded = true
+		ds.degradedSince = now
+		ds.backoff = ds.breakerBase
+		ds.degradeEdge.Inc()
+		if ds.log != nil {
+			ds.log.Warn("journal degraded: serving non-durable",
+				"shard", ds.shard, "error", err.Error(),
+				"probe_in", ds.backoff.String())
+		}
+	} else {
+		// A failed probe: double the wait.
+		ds.backoff = min(ds.backoff*2, ds.breakerMax)
+	}
+	ds.probeAt = now.Add(ds.backoff)
+}
+
+// probe runs the half-open attempt when due: open a fresh segment based at
+// nextSeq. Success closes the breaker and requests a checkpoint. Caller
+// holds mu; the probe's I/O happens under it, which is safe because commits
+// in degraded mode never write (they only bump nextSeq) and the worker's
+// rotate path also serialises on mu.
+func (ds *durableShard) probe() {
+	if !ds.degraded || time.Now().Before(ds.probeAt) {
+		return
+	}
+	jw, err := openJournal(ds.fs, ds.dir, ds.shard, ds.shards, ds.nextSeq)
+	if err != nil {
+		ds.trip(err)
+		return
+	}
+	old := ds.journal
+	ds.journal = jw
+	old.close()
+	since := ds.degradedSince
+	ds.degraded = false
+	ds.wantCkpt = true
+	if ds.log != nil {
+		ds.log.Info("journal recovered: durability restored",
+			"shard", ds.shard, "degraded_for", time.Since(since).String(),
+			"non_durable", ds.nonDurable, "base", ds.nextSeq)
+	}
+}
+
+// takeWantCkpt consumes the post-recovery checkpoint request.
+func (ds *durableShard) takeWantCkpt() bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	want := ds.wantCkpt
+	ds.wantCkpt = false
+	return want
 }
 
 // journalBatch is one group-committed set of frames. done closes when the
-// batch is on disk (or failed); err is valid after done.
+// batch is on disk (or failed); err is valid after done. n counts the staged
+// records so a failed batch's readings can be accounted non-durable.
 type journalBatch struct {
 	buf  []byte
+	n    int
 	done chan struct{}
 	err  error
 }
 
-// commit sequences, frames, and durably stages one reading, returning its
-// journal sequence. It blocks until the batch containing the record has been
-// written. Frames are staged in sequence order because marshalling happens
-// under mu — only the write syscall itself is batched and lock-free.
-func (ds *durableShard) commit(e journalEntry) (uint64, error) {
+// commit sequences, frames, and stages one reading, returning its journal
+// sequence and whether it made it to disk. It blocks until the batch
+// containing the record has been written (or skipped). Frames are staged in
+// sequence order because marshalling happens under mu — only the write
+// syscall itself is batched and lock-free.
+//
+// A write failure does NOT reject the reading: the shard degrades (breaker
+// opens), the reading is accepted non-durable, and later commits skip the
+// write entirely until a half-open probe reopens a fresh segment. The only
+// error commit returns is a marshalling failure — a malformed reading, which
+// is a rejection, not a disk fault.
+func (ds *durableShard) commit(e journalEntry) (seq uint64, durable bool, err error) {
 	ds.mu.Lock()
+	ds.probe() // half-open retry when due; no-op while healthy
 	ds.nextSeq++
 	e.Seq = ds.nextSeq
 	payload, err := json.Marshal(e)
@@ -86,7 +223,14 @@ func (ds *durableShard) commit(e journalEntry) (uint64, error) {
 		// stays gap-free (mu has been held throughout).
 		ds.nextSeq--
 		ds.mu.Unlock()
-		return 0, err
+		return 0, false, err
+	}
+	if ds.degraded {
+		// Breaker open: accept from memory, count the durability gap.
+		ds.nonDurable++
+		seq := e.Seq
+		ds.mu.Unlock()
+		return seq, false, nil
 	}
 	if ds.pending == nil {
 		ds.pending = &journalBatch{buf: ds.spare, done: make(chan struct{})}
@@ -94,6 +238,7 @@ func (ds *durableShard) commit(e journalEntry) (uint64, error) {
 	}
 	b := ds.pending
 	b.buf = appendRecord(b.buf, payload)
+	b.n++
 	if !ds.flushing {
 		// Leader: write batches until none are staged. Followers that
 		// arrive while the write syscall is in flight stage the next
@@ -102,11 +247,22 @@ func (ds *durableShard) commit(e journalEntry) (uint64, error) {
 		for ds.pending != nil {
 			batch := ds.pending
 			ds.pending = nil
-			w := ds.journal
-			ds.mu.Unlock()
-			werr := w.write(batch.buf)
-			ds.mu.Lock()
-			batch.err = werr
+			if ds.degraded {
+				// A failed write tripped the breaker while this batch
+				// was being staged; don't hammer the broken device.
+				batch.err = ds.lastErr
+				ds.nonDurable += uint64(batch.n)
+			} else {
+				w := ds.journal
+				ds.mu.Unlock()
+				werr := w.write(batch.buf)
+				ds.mu.Lock()
+				batch.err = werr
+				if werr != nil {
+					ds.trip(werr)
+					ds.nonDurable += uint64(batch.n)
+				}
+			}
 			if cap(batch.buf) > cap(ds.spare) {
 				ds.spare = batch.buf[:0]
 			}
@@ -119,26 +275,36 @@ func (ds *durableShard) commit(e journalEntry) (uint64, error) {
 		ds.mu.Unlock()
 		<-b.done
 	}
-	return e.Seq, b.err
+	return e.Seq, b.err == nil, nil
 }
 
 // rotate swaps in a fresh journal segment based at nextSeq, waiting out any
 // in-flight flush first: while no leader is writing, no frames are staged
 // (the leader drains the pending batch before going idle), so every journaled
-// sequence is on disk in the old segment and below the new base.
-func (ds *durableShard) rotate(shard, shards int) error {
+// sequence is on disk in the old segment and below the new base. A successful
+// rotation while degraded doubles as breaker recovery — the disk just proved
+// it can take a fresh segment.
+func (ds *durableShard) rotate() error {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	for ds.flushing {
 		ds.idle.Wait()
 	}
-	jw, err := openJournal(ds.dir, shard, shards, ds.nextSeq)
+	jw, err := openJournal(ds.fs, ds.dir, ds.shard, ds.shards, ds.nextSeq)
 	if err != nil {
 		return err // keep appending to the old segment; replay still works
 	}
 	old := ds.journal
 	ds.journal = jw
 	old.close()
+	if ds.degraded {
+		ds.degraded = false
+		if ds.log != nil {
+			ds.log.Info("journal recovered: durability restored",
+				"shard", ds.shard, "degraded_for", time.Since(ds.degradedSince).String(),
+				"non_durable", ds.nonDurable, "base", ds.nextSeq)
+		}
+	}
 	return nil
 }
 
@@ -159,20 +325,46 @@ func shardDir(root string, id int) string {
 func (s *shard) initDurability() error {
 	cfg := s.pool.cfg.Durability
 	dir := shardDir(cfg.Dir, s.id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	s.dur = &durableShard{dir: dir}
+	s.dur = &durableShard{
+		dir:         dir,
+		fs:          cfg.FS,
+		shard:       s.id,
+		shards:      len(s.pool.shards),
+		breakerBase: cfg.BreakerBase,
+		breakerMax:  cfg.BreakerMax,
+		log:         s.pool.cfg.Logger,
+		degradeEdge: s.pool.degradeEdges,
+	}
 	s.dur.idle = sync.NewCond(&s.dur.mu)
+	s.cleanTemporaries(dir)
 	if cfg.Recover {
 		return s.recoverState()
 	}
-	jw, err := openJournal(dir, s.id, len(s.pool.shards), 0)
+	jw, err := openJournal(cfg.FS, dir, s.id, len(s.pool.shards), 0)
 	if err != nil {
 		return err
 	}
 	s.dur.journal = jw
 	return nil
+}
+
+// cleanTemporaries removes stray checkpoint temporaries a crash or a failed
+// write left behind. A .tmp is never a valid recovery input (only renamed
+// checkpoints count), so deleting them is always safe; leaving them would
+// slowly leak disk across crash loops.
+func (s *shard) cleanTemporaries(dir string) {
+	entries, err := s.dur.fs.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			_ = s.dur.fs.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // recoverState loads the newest fully-valid checkpoint, replays the journal
@@ -181,16 +373,17 @@ func (s *shard) initDurability() error {
 // shorter replay); configuration mismatches are hard errors.
 func (s *shard) recoverState() error {
 	dir := s.dur.dir
+	fsys := s.dur.fs
 	n := len(s.pool.shards)
 
-	ckpts, err := listCheckpoints(dir)
+	ckpts, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return err
 	}
 	var loaded *checkpointFile
 	var restored map[string]*deployment
 	for i := len(ckpts) - 1; i >= 0; i-- {
-		data, err := os.ReadFile(ckpts[i].path)
+		data, err := fsys.ReadFile(ckpts[i].path)
 		if err != nil {
 			continue
 		}
@@ -217,7 +410,7 @@ func (s *shard) recoverState() error {
 		s.mu.Unlock()
 	}
 
-	segs, err := listJournals(dir)
+	segs, err := listJournals(fsys, dir)
 	if err != nil {
 		return err
 	}
@@ -238,7 +431,7 @@ func (s *shard) recoverState() error {
 	maxSeq, replayed := base, 0
 replay:
 	for i := max(floor, 0); i < len(segs); i++ {
-		entries, err := readJournal(segs[i].path, s.id, n)
+		entries, err := readJournal(fsys, segs[i].path, s.id, n)
 		if err != nil {
 			return err
 		}
@@ -259,7 +452,7 @@ replay:
 	s.dur.nextSeq = maxSeq
 
 	if loaded == nil && replayed == 0 {
-		jw, err := openJournal(dir, s.id, n, 0)
+		jw, err := openJournal(fsys, dir, s.id, n, 0)
 		if err != nil {
 			return err
 		}
@@ -349,22 +542,54 @@ func (s *shard) restoreDeployment(rec deploymentCheckpoint) (*deployment, error)
 	return d, nil
 }
 
-// maybeCheckpoint runs a checkpoint when either trigger is due.
+// maybeCheckpoint runs a checkpoint when a trigger is due — unless a recent
+// checkpoint failure put the shard in cooldown, in which case the triggers
+// stay armed but no attempt runs until the cooldown expires. Without the
+// cooldown a broken disk would be re-attempted on every applied reading.
 func (s *shard) maybeCheckpoint() {
 	if s.dur == nil {
 		return
 	}
+	if !s.ckptCooldownUntil.IsZero() && time.Now().Before(s.ckptCooldownUntil) {
+		return
+	}
 	cfg := s.pool.cfg.Durability
-	due := cfg.EveryN > 0 && s.applied-s.lastCkptSeq >= uint64(cfg.EveryN)
+	due := s.dur.takeWantCkpt() // breaker just closed: re-cover state ASAP
+	if !due && cfg.EveryN > 0 && s.applied-s.lastCkptSeq >= uint64(cfg.EveryN) {
+		due = true
+	}
 	if !due && cfg.Interval > 0 && time.Since(s.lastCkptTime) >= cfg.Interval {
 		due = true
 	}
 	if !due {
 		return
 	}
-	if err := s.checkpoint(); err != nil {
-		s.m.ckptErrors.Inc()
+	s.runCheckpoint()
+}
+
+// runCheckpoint attempts a checkpoint and does the failure bookkeeping: the
+// error counter, the sticky last-error record /status serves, and an
+// exponentially growing cooldown (base CheckpointCooldown, capped at 16x).
+// Success resets all of it.
+func (s *shard) runCheckpoint() error {
+	err := s.checkpoint()
+	now := time.Now()
+	if err == nil {
+		s.ckptFailures = 0
+		s.ckptCooldownUntil = time.Time{}
+		s.ckptErr.Store(nil)
+		return nil
 	}
+	s.m.ckptErrors.Inc()
+	s.ckptFailures++
+	wait := s.pool.cfg.Durability.CheckpointCooldown << min(s.ckptFailures-1, 4)
+	s.ckptCooldownUntil = now.Add(wait)
+	s.ckptErr.Store(&checkpointError{Err: err.Error(), At: now})
+	if log := s.pool.cfg.Logger; log != nil {
+		log.Warn("checkpoint failed; cooling down",
+			"shard", s.id, "error", err.Error(), "retry_in", wait.String())
+	}
+	return err
 }
 
 // checkpoint persists the shard's state at the last applied sequence, then
@@ -401,7 +626,7 @@ func (s *shard) checkpoint() error {
 		Seq:      seq,
 		WindowNS: int64(s.pool.cfg.Window),
 	}
-	bytes, err := writeCheckpoint(s.dur.dir, hdr, records)
+	bytes, err := writeCheckpoint(s.dur.fs, s.dur.dir, hdr, records)
 	if err != nil {
 		return err
 	}
@@ -420,7 +645,7 @@ func (s *shard) checkpoint() error {
 	// seq > checkpoint seq, so the new segment's base must sit above every
 	// sequence already written. Segments then partition the sequence space
 	// cleanly — segment with base b holds exactly (b, next segment's base].
-	if err := s.dur.rotate(s.id, len(s.pool.shards)); err != nil {
+	if err := s.dur.rotate(); err != nil {
 		return err
 	}
 	s.prune()
@@ -460,7 +685,7 @@ func (s *shard) exportDeployment(d *deployment) (deploymentCheckpoint, error) {
 // prune keeps the newest two checkpoints and every journal segment recovery
 // from the older of them would need.
 func (s *shard) prune() {
-	ckpts, err := listCheckpoints(s.dur.dir)
+	ckpts, err := listCheckpoints(s.dur.fs, s.dur.dir)
 	if err != nil || len(ckpts) == 0 {
 		return
 	}
@@ -469,10 +694,10 @@ func (s *shard) prune() {
 		keepFrom = len(ckpts) - 2
 	}
 	for _, c := range ckpts[:keepFrom] {
-		os.Remove(c.path)
+		s.dur.fs.Remove(c.path)
 	}
 	oldest := ckpts[keepFrom].base
-	segs, err := listJournals(s.dur.dir)
+	segs, err := listJournals(s.dur.fs, s.dur.dir)
 	if err != nil {
 		return
 	}
@@ -483,6 +708,6 @@ func (s *shard) prune() {
 		}
 	}
 	for i := 0; i < floor; i++ {
-		os.Remove(segs[i].path)
+		s.dur.fs.Remove(segs[i].path)
 	}
 }

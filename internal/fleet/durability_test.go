@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"sensorguard/internal/chaos"
 	"sensorguard/internal/gdi"
 	"sensorguard/internal/ingest"
 	"sensorguard/internal/obs"
@@ -196,7 +197,7 @@ func TestRecoveryToleratesTornTail(t *testing.T) {
 	// flip bytes in the newest checkpoint.
 	for shardID := 0; shardID < 2; shardID++ {
 		sdir := shardDir(dir, shardID)
-		segs, err := listJournals(sdir)
+		segs, err := listJournals(chaos.OS, sdir)
 		if err != nil || len(segs) == 0 {
 			t.Fatalf("shard %d journals: %v (%d)", shardID, err, len(segs))
 		}
@@ -208,7 +209,7 @@ func TestRecoveryToleratesTornTail(t *testing.T) {
 		if err := os.WriteFile(newest, data[:len(data)-len(data)/4], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		ckpts, err := listCheckpoints(sdir)
+		ckpts, err := listCheckpoints(chaos.OS, sdir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -369,14 +370,14 @@ func TestCheckpointRetention(t *testing.T) {
 
 	for shardID := 0; shardID < 2; shardID++ {
 		sdir := shardDir(dir, shardID)
-		ckpts, err := listCheckpoints(sdir)
+		ckpts, err := listCheckpoints(chaos.OS, sdir)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(ckpts) == 0 || len(ckpts) > 2 {
 			t.Errorf("shard %d holds %d checkpoints, want 1-2", shardID, len(ckpts))
 		}
-		segs, err := listJournals(sdir)
+		segs, err := listJournals(chaos.OS, sdir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -446,7 +447,7 @@ func TestStatusStates(t *testing.T) {
 // are read back exactly, and shard-identity mismatches are refused.
 func TestJournalRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openJournal(dir, 1, 4, 100)
+	w, err := openJournal(chaos.OS, dir, 1, 4, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +470,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := journalPath(dir, 100)
-	got, err := readJournal(path, 1, 4)
+	got, err := readJournal(chaos.OS, path, 1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,10 +483,10 @@ func TestJournalRoundTrip(t *testing.T) {
 			t.Fatalf("entry %d mismatch: %+v != %+v", i, got[i], wantEntries[i])
 		}
 	}
-	if _, err := readJournal(path, 0, 4); err == nil {
+	if _, err := readJournal(chaos.OS, path, 0, 4); err == nil {
 		t.Error("journal for shard 1 accepted by shard 0")
 	}
-	if _, err := readJournal(path, 1, 8); err == nil {
+	if _, err := readJournal(chaos.OS, path, 1, 8); err == nil {
 		t.Error("journal for 4-shard layout accepted by 8-shard pool")
 	}
 
@@ -497,7 +498,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err = readJournal(path, 1, 4)
+	got, err = readJournal(chaos.OS, path, 1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sensorguard/internal/chaos"
 	"sensorguard/internal/cluster"
 	"sensorguard/internal/core"
 	"sensorguard/internal/ingest"
@@ -162,6 +163,18 @@ func (c Config) withDefaults() Config {
 		if c.Durability.Interval <= 0 && c.Durability.EveryN <= 0 {
 			c.Durability.Interval = time.Minute
 		}
+		if c.Durability.FS == nil {
+			c.Durability.FS = chaos.OS
+		}
+		if c.Durability.BreakerBase <= 0 {
+			c.Durability.BreakerBase = 500 * time.Millisecond
+		}
+		if c.Durability.BreakerMax <= 0 {
+			c.Durability.BreakerMax = 30 * time.Second
+		}
+		if c.Durability.CheckpointCooldown <= 0 {
+			c.Durability.CheckpointCooldown = 10 * time.Second
+		}
 		if c.Durability.RestoreDetector == nil {
 			window := c.Window
 			c.Durability.RestoreDetector = func(snap *core.Snapshot) (*core.Detector, error) {
@@ -204,7 +217,9 @@ type Pool struct {
 	// journalAppend times the durable admission path's commit; it feeds
 	// the journal-append-latency SLO.
 	journalAppend *obs.Histogram
-	alertEdges    *obs.Counter
+	// degradeEdges counts healthy→degraded breaker transitions across shards.
+	degradeEdges *obs.Counter
+	alertEdges   *obs.Counter
 
 	// slo evaluates the burn-rate alerts on a background ticker; stopSLO
 	// shuts the ticker goroutine down exactly once (Drain and abort).
@@ -234,6 +249,8 @@ func New(cfg Config) (*Pool, error) {
 		if cfg.Durability.Dir != "" {
 			p.journalAppend = reg.Histogram("fleet_journal_append_seconds",
 				"journal group-commit latency on the durable admission path", obs.LatencyBuckets())
+			p.degradeEdges = reg.Counter("fleet_journal_degraded_total",
+				"journal circuit-breaker trips (shard flipped to non-durable serving)")
 		}
 		p.alertEdges = reg.Counter("fleet_alert_transitions_total",
 			"SLO alert state transitions (firing and resolving)")
@@ -338,7 +355,7 @@ func (p *Pool) submitDurable(s *shard, r ingest.Reading) error {
 	if p.journalAppend != nil {
 		jStart = time.Now()
 	}
-	seq, err := s.dur.commit(journalEntry{
+	seq, durable, err := s.dur.commit(journalEntry{
 		Deployment: r.Deployment,
 		WireSeq:    r.Seq,
 		Sensor:     r.Sensor,
@@ -351,8 +368,12 @@ func (p *Pool) submitDurable(s *shard, r ingest.Reading) error {
 	jsp.SetInt("seq", int64(seq))
 	jsp.End()
 	if err != nil {
+		// Only a malformed reading errors; disk faults degrade instead.
 		<-s.slots
 		return fmt.Errorf("fleet: journal: %w", err)
+	}
+	if !durable {
+		s.m.nondurable.Inc()
 	}
 	q := queued{seq: seq, r: r}
 	if p.queueWait != nil || r.Trace.Recording() {
@@ -518,14 +539,18 @@ type Health struct {
 	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
 	// Quarantined lists deployments isolated by worker panics, sorted.
 	Quarantined []string `json:"quarantined,omitempty"`
+	// DegradedShards lists shards whose journal breaker is open — they keep
+	// serving, but readings accepted there are not durable until recovery.
+	DegradedShards []int `json:"degraded_shards,omitempty"`
 	// Draining reports a pool past Drain.
 	Draining bool `json:"draining,omitempty"`
 }
 
 // Health computes the readiness verdict. Degradation thresholds: any shard
 // queue ≥ 90% full, any quarantined deployment, a checkpoint older than three
-// intervals (interval-based durability only), a drifting detector, a firing
-// burn-rate alert, or a drain in progress.
+// intervals (interval-based durability only), a journal breaker open (shard
+// serving non-durable), a drifting detector, a firing burn-rate alert, or a
+// drain in progress.
 func (p *Pool) Health() Health {
 	h := Health{Status: "ok"}
 	p.mu.RLock()
@@ -557,6 +582,10 @@ func (p *Pool) Health() Health {
 	}
 	if len(h.Quarantined) > 0 {
 		h.Reasons = append(h.Reasons, fmt.Sprintf("%d quarantined deployment(s)", len(h.Quarantined)))
+	}
+	h.DegradedShards = p.degradedShards()
+	if len(h.DegradedShards) > 0 {
+		h.Reasons = append(h.Reasons, fmt.Sprintf("journal degraded on %d shard(s): readings accepted non-durable", len(h.DegradedShards)))
 	}
 	if interval > 0 && h.CheckpointAgeSeconds > 3*interval.Seconds() {
 		h.Reasons = append(h.Reasons, fmt.Sprintf("checkpoint %.0fs old (interval %s)", h.CheckpointAgeSeconds, interval))
@@ -604,6 +633,77 @@ func (p *Pool) maxCheckpointAge() float64 {
 	return max
 }
 
+// degradedShards lists the shards whose journal breaker is currently open,
+// in shard order (nil when none, or with durability off).
+func (p *Pool) degradedShards() []int {
+	var out []int
+	for _, s := range p.shards {
+		if s.dur != nil && s.dur.state().degraded {
+			out = append(out, s.id)
+		}
+	}
+	return out
+}
+
+// checkpointError is the sticky record of a shard's most recent checkpoint
+// failure, surfaced on /status until the next checkpoint succeeds.
+type checkpointError struct {
+	Err string
+	At  time.Time
+}
+
+// ShardStatus is one shard's durability view, served on /status so operators
+// see which shards are degraded, for how long, and what the disk last said.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	// Degraded reports an open journal breaker: the shard serves, but
+	// accepted readings are not journaled.
+	Degraded        bool    `json:"degraded,omitempty"`
+	DegradedSeconds float64 `json:"degraded_seconds,omitempty"`
+	// NonDurable counts readings accepted while degraded since startup.
+	NonDurable uint64 `json:"non_durable_readings,omitempty"`
+	// LastJournalError/Unix describe the newest journal write failure.
+	LastJournalError     string `json:"last_journal_error,omitempty"`
+	LastJournalErrorUnix int64  `json:"last_journal_error_unix,omitempty"`
+	// CheckpointUnix is the newest checkpoint's wall-clock second (0 = none).
+	CheckpointUnix int64 `json:"checkpoint_unix,omitempty"`
+	// LastCheckpointError/Unix describe the newest checkpoint failure; a
+	// later successful checkpoint clears them.
+	LastCheckpointError     string `json:"last_checkpoint_error,omitempty"`
+	LastCheckpointErrorUnix int64  `json:"last_checkpoint_error_unix,omitempty"`
+}
+
+// ShardStatuses returns every shard's durability view, in shard order. Empty
+// with durability off.
+func (p *Pool) ShardStatuses() []ShardStatus {
+	out := make([]ShardStatus, 0, len(p.shards))
+	for _, s := range p.shards {
+		if s.dur == nil {
+			continue
+		}
+		js := s.dur.state()
+		st := ShardStatus{
+			Shard:          s.id,
+			Degraded:       js.degraded,
+			NonDurable:     js.nonDurable,
+			CheckpointUnix: s.ckptUnix.Load(),
+		}
+		if js.degraded {
+			st.DegradedSeconds = time.Since(js.degradedSince).Seconds()
+		}
+		if js.lastErr != nil {
+			st.LastJournalError = js.lastErr.Error()
+			st.LastJournalErrorUnix = js.lastErrAt.Unix()
+		}
+		if ce := s.ckptErr.Load(); ce != nil {
+			st.LastCheckpointError = ce.Err
+			st.LastCheckpointErrorUnix = ce.At.Unix()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
 // Deployments lists every deployment seen, sorted.
 func (p *Pool) Deployments() []string {
 	var out []string
@@ -642,6 +742,7 @@ type shardMetrics struct {
 	ckptErrors  *obs.Counter
 	ckptBytes   *obs.Gauge
 	ckptUnix    *obs.Gauge
+	nondurable  *obs.Counter
 }
 
 // queued is one admitted reading plus its journal sequence (0 when
@@ -674,11 +775,16 @@ type shard struct {
 
 	// Worker-owned durability cursors (no lock: only the worker goroutine
 	// — or recovery, which runs before it starts — touches them).
-	dur          *durableShard
-	applied      uint64
-	lastCkptSeq  uint64
-	lastCkptTime time.Time
-	current      *deployment // deployment being handled, for panic attribution
+	// ckptFailures/ckptCooldownUntil back off failed checkpoints (see
+	// runCheckpoint); ckptErr is the sticky last failure /status reads.
+	dur               *durableShard
+	applied           uint64
+	lastCkptSeq       uint64
+	lastCkptTime      time.Time
+	ckptFailures      int
+	ckptCooldownUntil time.Time
+	ckptErr           atomic.Pointer[checkpointError]
+	current           *deployment // deployment being handled, for panic attribution
 	// lastTrace is the newest sampled context the worker applied; the next
 	// checkpoint's span links into that trace (worker-owned).
 	lastTrace obs.SpanContext
@@ -714,6 +820,7 @@ func newShard(id int, p *Pool) *shard {
 			ckptErrors:  reg.Counter(prefix+"checkpoint_errors_total", "checkpoint attempts that failed"),
 			ckptBytes:   reg.Gauge(prefix+"checkpoint_bytes", "size of the newest checkpoint"),
 			ckptUnix:    reg.Gauge(prefix+"checkpoint_unix_seconds", "wall-clock time of the newest checkpoint"),
+			nondurable:  reg.Counter(prefix+"nondurable_total", "readings accepted while the journal was degraded (not journaled)"),
 		}
 	}
 	return s
@@ -831,9 +938,7 @@ func (s *shard) run() {
 	}
 	s.drain()
 	if s.dur != nil {
-		if err := s.checkpoint(); err != nil {
-			s.m.ckptErrors.Inc()
-		}
+		s.runCheckpoint()
 	}
 	s.m.depth.Set(0)
 	s.m.lag.Set(0)

@@ -59,11 +59,12 @@ func Handler(p *Pool, reg *obs.Registry) http.Handler {
 	})
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
 		type poolStatus struct {
-			Health      Health    `json:"health"`
-			Build       BuildInfo `json:"build"`
-			Deployments []Status  `json:"deployments"`
+			Health      Health        `json:"health"`
+			Build       BuildInfo     `json:"build"`
+			Shards      []ShardStatus `json:"shards,omitempty"`
+			Deployments []Status      `json:"deployments"`
 		}
-		ps := poolStatus{Health: p.Health(), Build: Build(), Deployments: []Status{}}
+		ps := poolStatus{Health: p.Health(), Build: Build(), Shards: p.ShardStatuses(), Deployments: []Status{}}
 		for _, name := range p.Deployments() {
 			if st, err := p.Status(name); err == nil {
 				ps.Deployments = append(ps.Deployments, st)

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"sensorguard/internal/chaos"
 	"sensorguard/internal/ingest"
 	"sensorguard/internal/sensor"
 	"sensorguard/internal/vecmat"
@@ -61,9 +62,10 @@ func (e journalEntry) reading() ingest.Reading {
 	}
 }
 
-// journalWriter appends framed entries to one segment file.
+// journalWriter appends framed entries to one segment file. All I/O goes
+// through the chaos.FS seam so the fault harness can fail or tear it.
 type journalWriter struct {
-	f    *os.File
+	f    chaos.File
 	path string
 }
 
@@ -72,9 +74,9 @@ func journalPath(dir string, base uint64) string {
 }
 
 // openJournal creates a fresh segment with the given base sequence.
-func openJournal(dir string, shard, shards int, base uint64) (*journalWriter, error) {
+func openJournal(fsys chaos.FS, dir string, shard, shards int, base uint64) (*journalWriter, error) {
 	path := journalPath(dir, base)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +129,8 @@ type journalSegment struct {
 
 // listJournals returns the shard directory's segments in ascending base
 // order. Files whose names do not parse are ignored.
-func listJournals(dir string) ([]journalSegment, error) {
-	entries, err := os.ReadDir(dir)
+func listJournals(fsys chaos.FS, dir string) ([]journalSegment, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -156,8 +158,8 @@ func listJournals(dir string) ([]journalSegment, error) {
 // entry before the first bad frame is returned. Entries out of sequence
 // order (only possible through corruption the CRC missed, or hand-editing)
 // end the segment early rather than poisoning replay.
-func readJournal(path string, wantShard, wantShards int) ([]journalEntry, error) {
-	data, err := os.ReadFile(path)
+func readJournal(fsys chaos.FS, path string, wantShard, wantShards int) ([]journalEntry, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -63,6 +63,15 @@ func DefaultSLOs() []obs.SLOSpec {
 			Burn:        14.4,
 		},
 		{
+			Name:        "durability-degraded",
+			Description: "at least one shard journal breaker open (readings accepted non-durable)",
+			Severity:    "page",
+			Budget:      0.05,
+			Fast:        time.Minute,
+			Slow:        15 * time.Minute,
+			Burn:        4,
+		},
+		{
 			Name:        "detector-drift",
 			Description: "at least one deployment's detector drifting from its learned models",
 			Severity:    "ticket",
@@ -100,6 +109,10 @@ func (p *Pool) bindSLO(spec obs.SLOSpec) (obs.SLOSource, error) {
 		return obs.HistogramLatencySource(p.journalAppend, journalAppendBound), nil
 	case "queue-wait-latency":
 		return obs.HistogramLatencySource(p.queueWait, queueWaitBound), nil
+	case "durability-degraded":
+		return obs.ThresholdSource(func() float64 {
+			return float64(len(p.degradedShards()))
+		}, 0.5), nil
 	case "detector-drift":
 		return obs.ThresholdSource(func() float64 {
 			return float64(len(p.driftingDeployments()))
@@ -239,6 +252,11 @@ func (p *Pool) healthSweep(now time.Time) {
 		reg.Gauge("fleet_drifting_deployments",
 			"deployments whose health tracker currently reads drifting").
 			Set(float64(len(p.driftingDeployments())))
+		if p.cfg.Durability.Dir != "" {
+			reg.Gauge("fleet_degraded_shards",
+				"shards whose journal breaker is currently open (serving non-durable)").
+				Set(float64(len(p.degradedShards())))
+		}
 	}
 }
 

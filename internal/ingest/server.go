@@ -156,10 +156,16 @@ func ServeTCPTraced(addr string, c Consumer, idle time.Duration, tr *obs.Tracer)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
 	}
+	return ServeTCPListener(ln, c, idle, tr), nil
+}
+
+// ServeTCPListener runs the TCP ingest loop on a caller-supplied listener —
+// the seam the chaos harness wraps a fault-injecting listener through.
+func ServeTCPListener(ln net.Listener, c Consumer, idle time.Duration, tr *obs.Tracer) *TCPServer {
 	s := &TCPServer{ln: ln, c: c, idle: idle, tracer: tr, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.accept()
-	return s, nil
+	return s
 }
 
 // idleConn renews the connection's read deadline before every read, turning
@@ -176,13 +182,31 @@ func (c idleConn) Read(p []byte) (int, error) {
 	return c.conn.Read(p)
 }
 
+// acceptBackoffMax caps the accept-retry backoff. Accept errors short of a
+// closed listener (EMFILE under descriptor exhaustion, ECONNABORTED from a
+// peer resetting mid-handshake) are transient conditions: exiting on them
+// would permanently kill ingestion over a blip, so the loop retries with a
+// capped exponential backoff instead, resetting after any successful accept.
+const acceptBackoffMax = time.Second
+
 func (s *TCPServer) accept() {
 	defer s.wg.Done()
+	backoff := time.Duration(0)
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed: the only clean exit
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else {
+				backoff = min(backoff*2, acceptBackoffMax)
+			}
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()

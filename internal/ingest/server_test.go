@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"sensorguard/internal/chaos"
 	"sensorguard/internal/vecmat"
 )
 
@@ -73,6 +75,36 @@ func TestTCPServerDeliversStream(t *testing.T) {
 	conn.Close()
 	waitFor(t, 2*time.Second, func() bool { return sink.count() == 5 },
 		fmt.Sprintf("server delivered %d of 5 readings", sink.count()))
+}
+
+// TestTCPAcceptRetriesTransientErrors pins the accept-loop fix: temporary
+// accept failures (EMFILE-style descriptor exhaustion) must not kill the
+// listener — the loop backs off, retries, and the next accept serves.
+func TestTCPAcceptRetriesTransientErrors(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := chaos.WrapListener(inner)
+	ln.FailNextAccepts(4, syscall.EMFILE)
+
+	sink := &collectConsumer{}
+	srv := ServeTCPListener(ln, sink, 0, nil)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(ingestLine(t, 300)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitFor(t, 5*time.Second, func() bool { return sink.count() == 1 },
+		"listener never recovered from transient accept errors")
+	if got := ln.Accepted(); got != 1 {
+		t.Fatalf("listener accepted %d connections, want 1", got)
+	}
 }
 
 // TestTCPIdleTimeoutSeversStalledConn checks the half-open-client defence: a
