@@ -1,7 +1,8 @@
 GO ?= go
 BENCHSTAT ?= $(GO) run golang.org/x/perf/cmd/benchstat@latest
+TRAJECTORY ?= bench/trajectory.json
 
-.PHONY: build test race lint bench bench-smoke bench-compare scenarios scenarios-smoke chaos
+.PHONY: build test race lint bench bench-smoke bench-record bench-compare scenarios scenarios-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,13 @@ bench:
 # BENCH_hotpath.json for the artifact upload.
 bench-smoke:
 	$(GO) run ./cmd/sgbench -days 1 -passes 10 -shards 1,4 -out BENCH_hotpath.json
+
+# bench-record runs the standard sgbench workload and appends one summary
+# entry (commit, cpus, readings/sec, decode ns/line, step p50/p99) to the
+# committed perf trajectory, so the throughput curve travels with history.
+# Run on a quiet machine; override TRAJECTORY=/tmp/t.json for a dry run.
+bench-record:
+	$(GO) run ./cmd/sgbench -days 1 -passes 20 -shards 1,4 -out BENCH_hotpath.json -record $(TRAJECTORY)
 
 # scenarios refreshes the committed adversary-simulation corpus report:
 # every labeled campaign in internal/scenario streamed over a real HTTP

@@ -75,6 +75,10 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 	traceSample := fs.Int("trace-sample", 16, "serve mode: sample one listener-rooted trace per this many ingest batches")
 	decisions := fs.Int("decisions", 256, "serve mode: retain this many decision records per deployment on /debug/decisions/{deployment} (0 disables)")
 	auditLog := fs.String("audit-log", "", "serve mode: append every decision record as NDJSON to this file (\"-\" = stderr)")
+	tsdbRetention := fs.Duration("tsdb-retention", 15*time.Minute, "serve mode: retain historical metrics this long on /metrics/range (0 disables the time-series store)")
+	tsdbResolution := fs.Duration("tsdb-resolution", time.Second, "serve mode: historical metric sampling interval")
+	profileDir := fs.String("profile-dir", "", "serve mode: capture CPU/heap/goroutine profiles into this directory, served on /debug/profiles (empty disables)")
+	profileInterval := fs.Duration("profile-interval", 0, "serve mode: periodic profile capture cadence (0 = capture only when an SLO alert fires)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +88,9 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 		}
 		if *ckptDir == "" && (*doRecover || *ckptInterval != 0 || *ckptEvery != 0) {
 			return fmt.Errorf("-recover, -checkpoint-interval, and -checkpoint-every need -checkpoint-dir")
+		}
+		if *profileDir == "" && *profileInterval != 0 {
+			return fmt.Errorf("-profile-interval needs -profile-dir")
 		}
 		return runServe(serveOptions{
 			listen:       *listen,
@@ -106,6 +113,11 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) error {
 			traceSample:  *traceSample,
 			decisions:    *decisions,
 			auditLog:     *auditLog,
+
+			tsdbRetention:   *tsdbRetention,
+			tsdbResolution:  *tsdbResolution,
+			profileDir:      *profileDir,
+			profileInterval: *profileInterval,
 		}, stdin, out, errOut)
 	}
 	if fs.NArg() != 1 {

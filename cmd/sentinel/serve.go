@@ -36,6 +36,11 @@ type serveOptions struct {
 	traceSample  int    // sample one listener-rooted trace per N batches
 	decisions    int    // decision records retained per deployment; 0 disables
 	auditLog     string // NDJSON decision audit log: "-" = stderr, else a path
+
+	tsdbRetention   time.Duration // historical metrics horizon; 0 disables the store
+	tsdbResolution  time.Duration // historical metrics sampling interval
+	profileDir      string        // profile ring directory; empty disables capture
+	profileInterval time.Duration // periodic capture cadence; 0 = alert-triggered only
 }
 
 // shutdownGrace bounds how long in-flight HTTP requests may run after a
@@ -82,6 +87,29 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 			audit = f
 		}
 	}
+	var db *sensorguard.MetricsTSDB
+	if o.tsdbRetention > 0 {
+		db = sensorguard.NewMetricsTSDB(sensorguard.MetricsTSDBConfig{
+			Registry:   metrics,
+			Resolution: o.tsdbResolution,
+			Retention:  o.tsdbRetention,
+		})
+		db.Start()
+		defer db.Close()
+	}
+	var profCap *sensorguard.ProfileCapturer
+	if o.profileDir != "" {
+		profCap, err = sensorguard.NewProfileCapturer(sensorguard.ProfileConfig{
+			Dir:      o.profileDir,
+			Interval: o.profileInterval,
+			Logger:   log,
+		})
+		if err != nil {
+			return err
+		}
+		profCap.Start()
+		defer profCap.Close()
+	}
 	pool, err := sensorguard.NewFleet(sensorguard.FleetConfig{
 		Shards:         o.shards,
 		QueueLen:       o.queueLen,
@@ -102,6 +130,8 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 			EveryN:   o.ckptEvery,
 			Recover:  o.recover,
 		},
+		TSDB:     db,
+		Profiles: profCap,
 	})
 	if err != nil {
 		return err
@@ -117,6 +147,16 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 	if o.ckptDir != "" {
 		log.Info("journaling readings and checkpointing state", "dir", o.ckptDir, "recover", o.recover)
 	}
+	if db != nil {
+		log.Info("recording historical metrics",
+			"retention", db.Retention().String(), "resolution", db.Resolution().String(),
+			"endpoint", "/metrics/range")
+	}
+	if profCap != nil {
+		log.Info("capturing profiles",
+			"dir", o.profileDir, "interval", o.profileInterval.String(),
+			"endpoint", "/debug/profiles")
+	}
 
 	srv, err := sensorguard.ServeFleet(o.listen, pool, metrics)
 	if err != nil {
@@ -128,7 +168,7 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 
 	var tcpSrv *sensorguard.IngestTCPServer
 	if o.tcp != "" {
-		tcpSrv, err = sensorguard.ServeIngestTCPTraced(o.tcp, pool, tracer)
+		tcpSrv, err = sensorguard.ServeIngestTCPFor(o.tcp, pool)
 		if err != nil {
 			srv.Close()
 			return err

@@ -38,6 +38,7 @@ import (
 	"sensorguard/internal/ingest"
 	"sensorguard/internal/network"
 	"sensorguard/internal/obs"
+	"sensorguard/internal/obs/profiles"
 	"sensorguard/internal/vecmat"
 )
 
@@ -55,6 +56,11 @@ type options struct {
 	shards      string
 	seed        int64
 	out         string
+	record      string // trajectory file to append a summary entry to
+	commit      string // commit id recorded with -record; default git HEAD
+	benchfmt    string // Go benchfmt output path (- for stdout)
+	convert     string // existing report to summarize instead of benching
+	profileDir  string // capture profiles of the largest-shard replay here
 }
 
 // report is the JSON document sgbench emits. Every latency is in
@@ -111,8 +117,23 @@ func run(args []string, out, errOut io.Writer) error {
 	fs.StringVar(&o.shards, "shards", "1,4,16", "comma-separated shard counts to benchmark")
 	fs.Int64Var(&o.seed, "seed", 1, "trace and bootstrap seed")
 	fs.StringVar(&o.out, "out", "BENCH_hotpath.json", "report path (- for stdout)")
+	fs.StringVar(&o.record, "record", "", "append a summary entry to this trajectory file (see bench/trajectory.json)")
+	fs.StringVar(&o.commit, "commit", "", "commit id stamped on the -record entry (default: git rev-parse HEAD)")
+	fs.StringVar(&o.benchfmt, "benchfmt", "", "also emit the report as Go benchmark lines for benchstat (- for stdout)")
+	fs.StringVar(&o.convert, "convert", "", "summarize an existing report instead of benchmarking (use with -record/-benchfmt)")
+	fs.StringVar(&o.profileDir, "profile-dir", "", "capture CPU/heap/goroutine profiles of the largest-shard replay into this ring directory")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if o.convert != "" {
+		if o.record == "" && o.benchfmt == "" {
+			return fmt.Errorf("-convert needs -record and/or -benchfmt")
+		}
+		rep, err := loadReport(o.convert)
+		if err != nil {
+			return err
+		}
+		return emitSummaries(rep, o, out)
 	}
 	if o.days <= 0 || o.deployments <= 0 || o.passes <= 0 {
 		return fmt.Errorf("-days, -deployments, and -passes must be positive")
@@ -120,6 +141,13 @@ func run(args []string, out, errOut io.Writer) error {
 	shardCounts, err := parseShards(o.shards)
 	if err != nil {
 		return err
+	}
+	var prof *profiles.Capturer
+	if o.profileDir != "" {
+		prof, err = profiles.New(profiles.Config{Dir: o.profileDir})
+		if err != nil {
+			return err
+		}
 	}
 
 	cfg := gdi.DefaultGenerateConfig()
@@ -158,7 +186,16 @@ func run(args []string, out, errOut io.Writer) error {
 
 	span := tr.Readings[len(tr.Readings)-1].Time + time.Hour
 	for _, shards := range shardCounts {
-		fr, err := replayFleet(decoded, shards, o.passes, span, o.seed)
+		var fr fleetRun
+		if prof != nil && shards == shardCounts[len(shardCounts)-1] {
+			// Profile the largest configuration: that's the one whose flame
+			// graph answers "where does the ingest hot path spend its time".
+			prof.CaptureAround(fmt.Sprintf("sgbench-shards-%d", shards), func() {
+				fr, err = replayFleet(decoded, shards, o.passes, span, o.seed)
+			})
+		} else {
+			fr, err = replayFleet(decoded, shards, o.passes, span, o.seed)
+		}
 		if err != nil {
 			return fmt.Errorf("shards=%d: %w", shards, err)
 		}
@@ -175,7 +212,39 @@ func run(args []string, out, errOut io.Writer) error {
 	log.Info("detector step",
 		"ns_per_op", rep.BareStep.NsPerOp, "allocs_per_op", rep.BareStep.AllocsPerOp)
 
-	return writeReport(rep, o.out, out)
+	if err := writeReport(rep, o.out, out); err != nil {
+		return err
+	}
+	return emitSummaries(rep, o, out)
+}
+
+// emitSummaries handles the -record and -benchfmt outputs for a report,
+// whether freshly benched or loaded via -convert.
+func emitSummaries(rep report, o options, stdout io.Writer) error {
+	if o.record != "" {
+		e, err := trajectoryEntryFrom(rep, resolveCommit(o.commit), time.Now())
+		if err != nil {
+			return err
+		}
+		if err := appendTrajectory(o.record, e); err != nil {
+			return err
+		}
+	}
+	if o.benchfmt != "" {
+		w := stdout
+		if o.benchfmt != "-" {
+			f, err := os.Create(o.benchfmt)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := writeBenchfmt(rep, w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // encodeTrace renders the trace once as NDJSON lines, deployment keys

@@ -110,6 +110,9 @@ type durableShard struct {
 	wantCkpt                bool // set on breaker close; worker checkpoints ASAP
 	log                     *slog.Logger
 	degradeEdge             *obs.Counter // fleet_journal_degraded_total transitions
+	// clock attributes leader write-syscall time to the journal_append stage
+	// (nil with metrics off).
+	clock *obs.StageClock
 }
 
 // journalState is a point-in-time view of the breaker for Status/Health.
@@ -255,7 +258,14 @@ func (ds *durableShard) commit(e journalEntry) (seq uint64, durable bool, err er
 			} else {
 				w := ds.journal
 				ds.mu.Unlock()
+				var wStart time.Time
+				if ds.clock != nil {
+					wStart = time.Now()
+				}
 				werr := w.write(batch.buf)
+				if ds.clock != nil {
+					ds.clock.Observe(time.Since(wStart), uint64(batch.n))
+				}
 				ds.mu.Lock()
 				batch.err = werr
 				if werr != nil {
@@ -337,6 +347,7 @@ func (s *shard) initDurability() error {
 		breakerMax:  cfg.BreakerMax,
 		log:         s.pool.cfg.Logger,
 		degradeEdge: s.pool.degradeEdges,
+		clock:       s.pool.clkJournal,
 	}
 	s.dur.idle = sync.NewCond(&s.dur.mu)
 	s.cleanTemporaries(dir)
@@ -572,7 +583,14 @@ func (s *shard) maybeCheckpoint() {
 // exponentially growing cooldown (base CheckpointCooldown, capped at 16x).
 // Success resets all of it.
 func (s *shard) runCheckpoint() error {
+	var ckptStart time.Time
+	if s.pool.clkCkpt != nil {
+		ckptStart = time.Now()
+	}
 	err := s.checkpoint()
+	if s.pool.clkCkpt != nil {
+		s.pool.clkCkpt.Observe(time.Since(ckptStart), 1)
+	}
 	now := time.Now()
 	if err == nil {
 		s.ckptFailures = 0

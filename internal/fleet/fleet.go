@@ -31,6 +31,8 @@ import (
 	"sensorguard/internal/ingest"
 	"sensorguard/internal/network"
 	"sensorguard/internal/obs"
+	"sensorguard/internal/obs/profiles"
+	"sensorguard/internal/obs/tsdb"
 	"sensorguard/internal/sensor"
 	"sensorguard/internal/vecmat"
 )
@@ -100,6 +102,15 @@ type Config struct {
 	// Durability enables the write-ahead journal and periodic checkpoints
 	// when Durability.Dir is set.
 	Durability Durability
+
+	// TSDB, when non-nil, is the embedded time-series store whose query API
+	// the pool serves on /metrics/range. The pool does not start or stop it;
+	// the caller owns its lifecycle (so one store can outlive pool restarts).
+	TSDB *tsdb.DB
+	// Profiles, when non-nil, is the profile-capture ring: the pool triggers
+	// a capture whenever a burn-rate SLO alert fires and serves the ring's
+	// index on /debug/profiles. Lifecycle is the caller's, like TSDB.
+	Profiles *profiles.Capturer
 
 	// Health tunes the per-deployment drift telemetry (zero value =
 	// defaults); DisableHealth turns the trackers off entirely.
@@ -221,6 +232,20 @@ type Pool struct {
 	degradeEdges *obs.Counter
 	alertEdges   *obs.Counter
 
+	// stages and its cached per-stage clocks feed bottleneck attribution;
+	// stageSnap/stageSnapOK are the previous sweep's cumulative counters,
+	// owned by the runSLO goroutine. All nil/zero with metrics off.
+	stages       *obs.StageSet
+	clkDecode    *obs.StageClock
+	clkJournal   *obs.StageClock
+	clkQueueWait *obs.StageClock
+	clkAdmit     *obs.StageClock
+	clkStep      *obs.StageClock
+	clkCkpt      *obs.StageClock
+	stageSnap    obs.StageSnapshot
+	stageSnapOK  bool
+	bottleneck   atomic.Pointer[Bottleneck]
+
 	// slo evaluates the burn-rate alerts on a background ticker; stopSLO
 	// shuts the ticker goroutine down exactly once (Drain and abort).
 	slo     *obs.SLOEngine
@@ -254,6 +279,7 @@ func New(cfg Config) (*Pool, error) {
 		}
 		p.alertEdges = reg.Counter("fleet_alert_transitions_total",
 			"SLO alert state transitions (firing and resolving)")
+		p.initStages(reg)
 	}
 	if err := p.initSLO(); err != nil {
 		return nil, err
@@ -785,6 +811,9 @@ type shard struct {
 	ckptCooldownUntil time.Time
 	ckptErr           atomic.Pointer[checkpointError]
 	current           *deployment // deployment being handled, for panic attribution
+	// admitTick drives the 1-in-2^admitSampleShift window-admit timing
+	// sample (worker-owned).
+	admitTick uint64
 	// lastTrace is the newest sampled context the worker applied; the next
 	// checkpoint's span links into that trace (worker-owned).
 	lastTrace obs.SpanContext
@@ -1012,7 +1041,15 @@ func (s *shard) workBatch() bool {
 		}
 		if !q.enq.IsZero() {
 			wait := time.Since(q.enq)
-			s.pool.queueWait.Observe(wait.Seconds())
+			// Traced readings stamp their trace ID on the bucket as an
+			// exemplar, so a queue-wait spike on the dashboard links to the
+			// exact /debug/traces trace that sat through it.
+			var traceID string
+			if q.r.Trace.Recording() {
+				traceID = q.r.Trace.Trace.String()
+			}
+			s.pool.queueWait.ObserveExemplar(wait.Seconds(), traceID)
+			s.pool.clkQueueWait.Observe(wait, 1)
 			if q.r.Trace.Recording() {
 				sp := s.pool.cfg.Tracer.StartSpanAt("ingest.queue_wait", q.r.Trace, q.enq)
 				sp.SetInt("shard", int64(s.id))
@@ -1167,8 +1204,22 @@ func (s *shard) wire(name string, det *core.Detector) (*core.DecisionRing, *obs.
 }
 
 func (s *shard) feed(d *deployment, r sensor.Reading, tc obs.SpanContext) {
+	// Admit timing is 1-in-2^admitSampleShift sampled and pre-scaled (see
+	// stages.go): two clock reads per reading would cost as much as the
+	// admit itself.
+	var admitStart time.Time
+	timed := false
+	if s.pool.clkAdmit != nil {
+		if s.admitTick++; s.admitTick&(1<<admitSampleShift-1) == 0 {
+			timed = true
+			admitStart = time.Now()
+		}
+	}
 	sp := s.pool.cfg.Tracer.StartSpan("window.admit", tc)
 	wins := d.wd.AddTraced(r, tc)
+	if timed {
+		s.pool.clkAdmit.Observe(time.Since(admitStart)<<admitSampleShift, 1<<admitSampleShift)
+	}
 	if sp != nil {
 		sp.SetInt("emitted", int64(len(wins)))
 		sp.End()
@@ -1186,7 +1237,15 @@ func (s *shard) step(d *deployment, w network.Window) {
 	if d.deadW {
 		return
 	}
-	if _, err := d.detW.Step(w); err != nil {
+	var stepStart time.Time
+	if s.pool.clkStep != nil {
+		stepStart = time.Now()
+	}
+	_, err := d.detW.Step(w)
+	if s.pool.clkStep != nil {
+		s.pool.clkStep.Observe(time.Since(stepStart), 1)
+	}
+	if err != nil {
 		d.fail(fmt.Errorf("window %d: %w", w.Index, err))
 		return
 	}

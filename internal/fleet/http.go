@@ -8,6 +8,8 @@ import (
 	"sensorguard/internal/core"
 	"sensorguard/internal/ingest"
 	"sensorguard/internal/obs"
+	"sensorguard/internal/obs/profiles"
+	"sensorguard/internal/obs/tsdb"
 )
 
 // Handler builds the serve-mode HTTP surface on top of the observability
@@ -24,6 +26,8 @@ import (
 //	GET  /debug/decisions/{deployment} recent decision records, oldest first
 //	GET  /debug/health/{deployment}    drift-telemetry snapshot as JSON
 //	GET  /debug/dashboard              self-contained live ops dashboard
+//	GET  /metrics/range                historical metric queries (Config.TSDB set)
+//	GET  /debug/profiles[/{file}]      captured profile ring (Config.Profiles set)
 //	/metrics, /metrics.json, /debug/vars, /debug/pprof  (from obs, reg != nil)
 //
 // reg may be nil, in which case the metrics routes are not mounted. /ingest
@@ -34,7 +38,14 @@ func Handler(p *Pool, reg *obs.Registry) http.Handler {
 	if reg != nil {
 		obs.Mount(mux, reg)
 	}
-	mux.Handle("POST /ingest", ingest.IngestHandlerTraced(p, p.Tracer()))
+	if db := p.cfg.TSDB; db != nil {
+		mux.Handle("GET /metrics/range", tsdb.Handler(db))
+	}
+	if pc := p.cfg.Profiles; pc != nil {
+		mux.Handle("GET /debug/profiles", profiles.Handler(pc))
+		mux.Handle("GET /debug/profiles/", profiles.Handler(pc))
+	}
+	mux.Handle("POST /ingest", ingest.IngestHandlerStaged(p, p.Tracer(), p.DecodeClock()))
 	mux.HandleFunc("GET /report/{deployment}", func(w http.ResponseWriter, r *http.Request) {
 		rep, err := p.Report(r.PathValue("deployment"))
 		if err != nil {
@@ -61,10 +72,12 @@ func Handler(p *Pool, reg *obs.Registry) http.Handler {
 		type poolStatus struct {
 			Health      Health        `json:"health"`
 			Build       BuildInfo     `json:"build"`
+			Bottleneck  *Bottleneck   `json:"bottleneck,omitempty"`
 			Shards      []ShardStatus `json:"shards,omitempty"`
 			Deployments []Status      `json:"deployments"`
 		}
-		ps := poolStatus{Health: p.Health(), Build: Build(), Shards: p.ShardStatuses(), Deployments: []Status{}}
+		ps := poolStatus{Health: p.Health(), Build: Build(), Bottleneck: p.Bottleneck(),
+			Shards: p.ShardStatuses(), Deployments: []Status{}}
 		for _, name := range p.Deployments() {
 			if st, err := p.Status(name); err == nil {
 				ps.Deployments = append(ps.Deployments, st)

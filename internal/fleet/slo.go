@@ -152,6 +152,12 @@ func (p *Pool) initSLO() error {
 	}
 	eng.OnTransition = func(a obs.Alert) {
 		p.alertEdges.Inc()
+		if a.State == obs.AlertFiring && p.cfg.Profiles != nil {
+			// A paged alert ships with the profile of the incident: capture
+			// runs asynchronously so the SLO ticker is never blocked on a
+			// CPU profile.
+			p.cfg.Profiles.TriggerCapture("alert-" + a.Name)
+		}
 		if log := p.cfg.Logger; log != nil {
 			if a.State == obs.AlertFiring {
 				log.Warn("slo alert firing",
@@ -205,6 +211,7 @@ func (p *Pool) stopSLO() {
 // gauges. Runs on the SLO ticker, never the step path; RefreshDrift
 // serialises against the shard worker through core.Shared.
 func (p *Pool) healthSweep(now time.Time) {
+	p.updateBottleneck(now)
 	reg := p.cfg.Metrics
 	for _, s := range p.shards {
 		s.mu.RLock()

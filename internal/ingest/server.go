@@ -43,15 +43,43 @@ func ReadStream(r io.Reader, c Consumer) (StreamStats, error) {
 // through the queue, the windower, and the detector. A nil tracer (or an
 // explicitly unsampled parent) records nothing and behaves like ReadStream.
 func ReadStreamTraced(r io.Reader, c Consumer, tr *obs.Tracer, parent obs.SpanContext) (StreamStats, error) {
+	return ReadStreamOpts(r, c, StreamOptions{Tracer: tr, Parent: parent})
+}
+
+// StreamOptions carries the optional instrumentation of one NDJSON stream.
+type StreamOptions struct {
+	// Tracer/Parent behave as in ReadStreamTraced.
+	Tracer *obs.Tracer
+	Parent obs.SpanContext
+	// Decode, when non-nil, accumulates per-line decode time into the
+	// ingest_decode stage clock for bottleneck attribution.
+	Decode *obs.StageClock
+}
+
+// decodeFlushEvery is how many timed lines accumulate locally before the
+// decode stage clock's counters take the atomic adds.
+const decodeFlushEvery = 4096
+
+// ReadStreamOpts is the full-featured stream reader; ReadStream and
+// ReadStreamTraced are thin wrappers over it.
+func ReadStreamOpts(r io.Reader, c Consumer, o StreamOptions) (StreamStats, error) {
 	var span *obs.Span
 	switch {
-	case parent.Recording():
-		span = tr.StartSpan("ingest.decode", parent)
-	case !parent.Valid():
-		span = tr.Root("ingest.decode")
+	case o.Parent.Recording():
+		span = o.Tracer.StartSpan("ingest.decode", o.Parent)
+	case !o.Parent.Valid():
+		span = o.Tracer.Root("ingest.decode")
 	}
 	ctx := span.Context()
 	var st StreamStats
+	var busy time.Duration
+	var lines uint64
+	flushClock := func() {
+		if lines > 0 {
+			o.Decode.Observe(busy, lines)
+			busy, lines = 0, 0
+		}
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
 	for sc.Scan() {
@@ -59,7 +87,18 @@ func ReadStreamTraced(r io.Reader, c Consumer, tr *obs.Tracer, parent obs.SpanCo
 		if len(line) == 0 {
 			continue
 		}
-		rd, err := DecodeLine(line)
+		var rd Reading
+		var err error
+		if o.Decode != nil {
+			t0 := time.Now()
+			rd, err = DecodeLine(line)
+			busy += time.Since(t0)
+			if lines++; lines >= decodeFlushEvery {
+				flushClock()
+			}
+		} else {
+			rd, err = DecodeLine(line)
+		}
 		if err != nil {
 			st.Rejected++
 			continue
@@ -72,10 +111,12 @@ func ReadStreamTraced(r io.Reader, c Consumer, tr *obs.Tracer, parent obs.SpanCo
 		case errors.Is(err, ErrDropped):
 			st.Dropped++
 		default:
+			flushClock()
 			finishDecodeSpan(span, st)
 			return st, err
 		}
 	}
+	flushClock()
 	finishDecodeSpan(span, st)
 	return st, sc.Err()
 }
@@ -97,6 +138,12 @@ func IngestHandler(c Consumer) http.HandlerFunc {
 // header joins the batch to the producer's trace; without one the tracer's
 // root sampling applies.
 func IngestHandlerTraced(c Consumer, tr *obs.Tracer) http.HandlerFunc {
+	return IngestHandlerStaged(c, tr, nil)
+}
+
+// IngestHandlerStaged is IngestHandlerTraced plus decode-stage accounting:
+// each request body's per-line decode time feeds the given stage clock.
+func IngestHandlerStaged(c Consumer, tr *obs.Tracer, decode *obs.StageClock) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var parent obs.SpanContext
 		if tr != nil {
@@ -104,7 +151,7 @@ func IngestHandlerTraced(c Consumer, tr *obs.Tracer) http.HandlerFunc {
 				parent = ctx
 			}
 		}
-		st, err := ReadStreamTraced(r.Body, c, tr, parent)
+		st, err := ReadStreamOpts(r.Body, c, StreamOptions{Tracer: tr, Parent: parent, Decode: decode})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
@@ -127,6 +174,7 @@ type TCPServer struct {
 	c      Consumer
 	idle   time.Duration
 	tracer *obs.Tracer
+	decode *obs.StageClock
 	wg     sync.WaitGroup
 
 	mu    sync.Mutex
@@ -152,11 +200,20 @@ func ServeTCPIdle(addr string, c Consumer, idle time.Duration) (*TCPServer, erro
 // a root-sampled "ingest.decode" span (there is no header channel on a raw
 // socket, so TCP traces always root at the collector).
 func ServeTCPTraced(addr string, c Consumer, idle time.Duration, tr *obs.Tracer) (*TCPServer, error) {
+	return ServeTCPStaged(addr, c, idle, tr, nil)
+}
+
+// ServeTCPStaged is ServeTCPTraced plus decode-stage accounting on every
+// connection's stream.
+func ServeTCPStaged(addr string, c Consumer, idle time.Duration, tr *obs.Tracer, decode *obs.StageClock) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
 	}
-	return ServeTCPListener(ln, c, idle, tr), nil
+	s := &TCPServer{ln: ln, c: c, idle: idle, tracer: tr, decode: decode, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
 }
 
 // ServeTCPListener runs the TCP ingest loop on a caller-supplied listener —
@@ -223,7 +280,7 @@ func (s *TCPServer) accept() {
 			if s.idle > 0 {
 				r = idleConn{conn: conn, idle: s.idle}
 			}
-			_, _ = ReadStreamTraced(r, s.c, s.tracer, obs.SpanContext{})
+			_, _ = ReadStreamOpts(r, s.c, StreamOptions{Tracer: s.tracer, Decode: s.decode})
 		}()
 	}
 }

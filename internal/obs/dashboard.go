@@ -3,10 +3,15 @@ package obs
 import "net/http"
 
 // DashboardHandler serves the live ops dashboard: one self-contained HTML
-// page whose inline script polls /metrics.json, /alerts, and /status and
-// renders shard queues, ingest rate, burn-rate gauges, per-deployment health
-// sparklines, and recent alerts. No external assets, no build step — the
-// page works from any browser that can reach the fleet's listener.
+// page whose inline script polls /status and /alerts for live state and
+// issues incremental /metrics/range queries against the embedded time-series
+// store for historical graphs — ingest rate, queue-wait p99, and per-stage
+// utilization with the live bottleneck attribution. Each chart remembers the
+// timestamp of its newest point and asks only for what is new (start=last+1),
+// so a polling tab costs a few samples per tick, not a full scrape. No
+// external assets, no build step — the page works from any browser that can
+// reach the fleet's listener; without a time-series store the charts degrade
+// to a note and the live panels keep working.
 func DashboardHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -45,6 +50,11 @@ main{padding:1.1rem 1.4rem;display:grid;gap:1.1rem;max-width:1200px}
 section{background:var(--panel);border:1px solid var(--edge);border-radius:8px;padding:.9rem 1rem}
 section h2{margin:0 0 .6rem;font-size:.85rem;color:var(--dim);
   text-transform:uppercase;letter-spacing:.05em;font-weight:600}
+.charts{display:grid;grid-template-columns:repeat(auto-fit,minmax(320px,1fr));gap:1.1rem}
+svg.chart{display:block;width:100%;height:110px}
+.legend{display:flex;flex-wrap:wrap;gap:.3rem .9rem;margin-top:.3rem;font-size:.8rem;
+  color:var(--dim);font-variant-numeric:tabular-nums}
+.legend i{display:inline-block;width:.65rem;height:.65rem;border-radius:2px;margin-right:.3rem}
 .bar{height:10px;background:var(--edge);border-radius:5px;overflow:hidden;margin:.25rem 0}
 .bar i{display:block;height:100%;background:var(--accent);transition:width .4s}
 .bar i.warn{background:var(--warn)} .bar i.bad{background:var(--bad)}
@@ -76,6 +86,12 @@ svg.spark{display:block}
 <div id="err"></div>
 <main>
   <div class="tiles" id="tiles"></div>
+  <div class="charts">
+    <section><h2>Ingest rate (5 min)</h2><div id="c-rate" class="empty">loading…</div></section>
+    <section><h2>Queue wait p99 (5 min)</h2><div id="c-wait" class="empty">loading…</div></section>
+    <section><h2>Stage utilization (5 min)</h2><div id="c-stages" class="empty">loading…</div></section>
+    <section><h2>Bottleneck</h2><div id="bottleneck" class="empty">loading…</div></section>
+  </div>
   <section><h2>Burn-rate alerts</h2><div id="alerts" class="empty">loading…</div></section>
   <section><h2>Shard queues</h2><div id="shards" class="empty">loading…</div></section>
   <section><h2>Deployments</h2><div id="deps" class="empty">loading…</div></section>
@@ -84,7 +100,9 @@ svg.spark{display:block}
 "use strict";
 const $=id=>document.getElementById(id);
 const esc=s=>String(s).replace(/[&<>"]/g,c=>({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
-let prev=null; // {t, readings} for ingest-rate delta
+const HORIZON=5*60*1000; // chart lookback, ms
+const PALETTE=["#5b9dd9","#3fb97f","#e0a93e","#e05d5d","#b07cd8","#4fc3c3","#d98a5b"];
+let tsdbOff=false; // /metrics/range returned 404: store disabled
 
 function fmt(n,d){return n==null?"—":Number(n).toFixed(d==null?0:d)}
 
@@ -93,24 +111,109 @@ function tile(k,v,cls){return '<div class="tile"><div class="k">'+esc(k)+
 
 function barCls(f){return f>=.9?"bad":f>=.6?"warn":""}
 
-function spark(vals,max){
-  if(!vals||!vals.length)return "";
-  const W=120,H=24,m=Math.max(max||0,...vals,1e-9);
-  const pts=vals.map((v,i)=>((i*(W-2)/Math.max(vals.length-1,1))+1).toFixed(1)+","+
-    (H-1-(v/m)*(H-2)).toFixed(1)).join(" ");
-  return '<svg class="spark" width="'+W+'" height="'+H+'" viewBox="0 0 '+W+" "+H+'">'+
-    '<polyline points="'+pts+'" fill="none" stroke="#5b9dd9" stroke-width="1.5"/></svg>';
+// chart holds the incremental series buffers for one /metrics/range query.
+// Every poll asks only for points newer than the last one received
+// (start=last+1), appends, and trims to the horizon — the full window is
+// fetched exactly once, on the first poll.
+function chart(el,params,fmtVal){
+  return {el:el,params:params,fmtVal:fmtVal,last:0,series:new Map()};
+}
+const charts=[
+  chart("c-rate",{metric:"fleet_readings_total","func":"rate",window:"10s",step:"2000"},
+    v=>fmt(v,0)+"/s"),
+  chart("c-wait",{metric:"fleet_queue_wait_seconds","func":"quantile",q:"0.99",window:"30s",step:"2000"},
+    v=>fmt(v*1000,2)+"ms"),
+  chart("c-stages",{prefix:"fleet_stage_utilization",step:"2000"},
+    v=>fmt(v*100,0)+"%"),
+];
+
+async function pollChart(c){
+  const now=Date.now();
+  const qp=new URLSearchParams(c.params);
+  qp.set("start",String(c.last?c.last+1:now-HORIZON));
+  qp.set("end",String(now));
+  const r=await fetch("/metrics/range?"+qp);
+  if(r.status===404){tsdbOff=true;return}
+  if(!r.ok)return;
+  const res=await r.json();
+  for(const s of (res.series||[])){
+    let buf=c.series.get(s.name);
+    if(!buf){buf=[];c.series.set(s.name,buf)}
+    for(const p of s.points){
+      if(p[0]>c.last)buf.push(p);
+    }
+  }
+  let newest=c.last;
+  const cut=now-HORIZON;
+  for(const[name,buf]of c.series){
+    while(buf.length&&buf[0][0]<cut)buf.shift();
+    if(buf.length&&buf[buf.length-1][0]>newest)newest=buf[buf.length-1][0];
+    if(!buf.length)c.series.delete(name);
+  }
+  c.last=newest;
+  renderChart(c,now);
 }
 
-function renderTiles(status,metrics){
-  const h=status.health||{};
-  let rate="—";
-  const readings=metrics["fleet_readings_total"];
-  const now=Date.now();
-  if(prev&&readings!=null&&now>prev.t){
-    rate=fmt((readings-prev.readings)/((now-prev.t)/1000),0)+"/s";
+// shortName trims the shared metric prefix so legends read "ingest_decode"
+// rather than the full series name.
+function shortName(name){
+  const m=name.match(/\{.*stage="([^"]+)"/);
+  if(m)return m[1];
+  return name.replace(/^fleet_/,"");
+}
+
+function renderChart(c,now){
+  const names=[...c.series.keys()].sort();
+  if(!names.length){
+    c.el.innerHTML='<span class="empty">'+(tsdbOff?
+      "time-series store disabled (run with -tsdb-retention)":"no data yet")+"</span>";
+    return;
   }
-  if(readings!=null)prev={t:now,readings:readings};
+  const W=360,H=96,cut=now-HORIZON;
+  let max=1e-9;
+  for(const n of names)for(const p of c.series.get(n))if(p[1]>max)max=p[1];
+  const x=t=>((t-cut)/HORIZON)*(W-2)+1;
+  const y=v=>H-2-(v/max)*(H-6);
+  let svg='<svg class="chart" viewBox="0 0 '+W+" "+H+'" preserveAspectRatio="none">';
+  let legend="";
+  names.forEach((n,i)=>{
+    const col=PALETTE[i%PALETTE.length];
+    const buf=c.series.get(n);
+    const pts=buf.map(p=>x(p[0]).toFixed(1)+","+y(p[1]).toFixed(1)).join(" ");
+    svg+='<polyline points="'+pts+'" fill="none" stroke="'+col+'" stroke-width="1.5"/>';
+    legend+='<span><i style="background:'+col+'"></i>'+esc(shortName(n))+" "+
+      c.fmtVal(buf[buf.length-1][1])+"</span>";
+  });
+  svg+="</svg>";
+  c.el.classList.remove("empty");
+  c.el.innerHTML=svg+'<div class="legend">'+legend+"</div>";
+}
+
+function renderBottleneck(status){
+  const b=status.bottleneck;
+  if(!b||!b.stages||!b.stages.length){
+    $("bottleneck").innerHTML='<span class="empty">no stage accounting yet</span>';
+    return;
+  }
+  const head=b.stage==="idle"
+    ?'<span class="pill ok">idle</span>'
+    :'<span class="pill '+(b.utilization>=.6?"bad":"warn")+'">'+esc(b.stage)+"</span>"+
+     ' <span class="x">'+fmt(b.utilization*100,0)+"% busy over "+fmt(b.window_seconds,0)+"s</span>";
+  $("bottleneck").classList.remove("empty");
+  $("bottleneck").innerHTML='<div style="margin-bottom:.5rem">'+head+"</div>"+
+    b.stages.map(s=>'<div class="row"><span class="n">'+esc(s.stage)+
+      '</span><span class="bar"><i class="'+barCls(s.utilization)+'" style="width:'+
+      Math.min(s.utilization*100,100).toFixed(0)+'%"></i></span><span class="x">'+
+      fmt(s.utilization*100,1)+"%</span></div>").join("");
+}
+
+function renderTiles(status){
+  const h=status.health||{};
+  const rateChart=charts[0];
+  let rate="—";
+  for(const buf of rateChart.series.values()){
+    if(buf.length)rate=fmt(buf[buf.length-1][1],0)+"/s";
+  }
   const sat=h.queue_saturation||0;
   const deps=(status.deployments||[]);
   const drifting=deps.filter(d=>d.health&&d.health.drifting).length;
@@ -137,20 +240,33 @@ function renderAlerts(alerts){
   }).join("");
 }
 
-function renderShards(metrics){
+// Shard queue depths are instant values, not history: one instant
+// /metrics/range evaluation (no start) returns the latest sample per series.
+async function pollShards(){
+  if(tsdbOff){$("shards").innerHTML='<span class="empty">time-series store disabled</span>';return}
+  const r=await fetch("/metrics/range?prefix=fleet_shard");
+  if(!r.ok)return;
+  const res=await r.json();
   const rows=[];
-  for(const k of Object.keys(metrics).sort()){
-    const m=k.match(/^fleet_shard(\d+)_queue_depth$/);
-    if(!m)continue;
-    const depth=metrics[k];
-    // Queue capacity is not exported; scale against the fleet max depth.
-    rows.push({shard:m[1],depth:depth});
+  for(const s of (res.series||[])){
+    const m=s.name.match(/^fleet_shard(\d+)_queue_depth$/);
+    if(!m||!s.points.length)continue;
+    rows.push({shard:m[1],depth:s.points[s.points.length-1][1]});
   }
   if(!rows.length){$("shards").innerHTML='<span class="empty">no shard metrics</span>';return}
   const max=Math.max(...rows.map(r=>r.depth),1);
   $("shards").innerHTML=rows.map(r=>'<div class="row"><span class="n">shard '+r.shard+
     '</span><span class="bar"><i class="'+barCls(r.depth/max)+'" style="width:'+
     (100*r.depth/max).toFixed(0)+'%"></i></span><span class="x">'+fmt(r.depth)+"</span></div>").join("");
+}
+
+function spark(vals,max){
+  if(!vals||!vals.length)return "";
+  const W=120,H=24,m=Math.max(max||0,...vals,1e-9);
+  const pts=vals.map((v,i)=>((i*(W-2)/Math.max(vals.length-1,1))+1).toFixed(1)+","+
+    (H-1-(v/m)*(H-2)).toFixed(1)).join(" ");
+  return '<svg class="spark" width="'+W+'" height="'+H+'" viewBox="0 0 '+W+" "+H+'">'+
+    '<polyline points="'+pts+'" fill="none" stroke="#5b9dd9" stroke-width="1.5"/></svg>';
 }
 
 function renderDeps(status){
@@ -173,8 +289,7 @@ function renderDeps(status){
 
 async function poll(){
   try{
-    const[metrics,alertsDoc,status]=await Promise.all([
-      fetch("/metrics.json").then(r=>r.ok?r.json():{}),
+    const[alertsDoc,status]=await Promise.all([
       fetch("/alerts").then(r=>r.ok?r.json():{alerts:[]}),
       fetch("/status").then(r=>r.json()),
     ]);
@@ -185,9 +300,11 @@ async function poll(){
     if(status.build)$("build").textContent=status.build.version+
       (status.build.revision?" @ "+status.build.revision.slice(0,9):"");
     $("updated").textContent="updated "+new Date().toLocaleTimeString();
-    renderTiles(status,metrics);
+    await Promise.all(charts.map(pollChart).concat([pollShards()]));
+    if(tsdbOff)charts.forEach(c=>renderChart(c,Date.now()));
+    renderTiles(status);
+    renderBottleneck(status);
     renderAlerts(alertsDoc.alerts||[]);
-    renderShards(metrics);
     renderDeps(status);
     $("err").style.display="none";
   }catch(e){

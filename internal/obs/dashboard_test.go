@@ -16,12 +16,17 @@ func TestDashboardHandler(t *testing.T) {
 		t.Fatalf("content type = %q", ct)
 	}
 	body := rec.Body.String()
-	// The page must be self-contained (no external assets) and poll the
-	// three live endpoints.
-	for _, want := range []string{"/metrics.json", "/alerts", "/status", "<script>", "sensorguard"} {
+	// The page must be self-contained (no external assets), poll the live
+	// endpoints, and draw history from incremental /metrics/range queries —
+	// never by re-fetching the full /metrics.json scrape.
+	for _, want := range []string{"/metrics/range", "/alerts", "/status", "<script>", "sensorguard",
+		"fleet_stage_utilization", "bottleneck"} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("dashboard missing %q", want)
 		}
+	}
+	if strings.Contains(body, "/metrics.json") {
+		t.Fatal("dashboard still fetches the full /metrics.json scrape; history must come from /metrics/range")
 	}
 	for _, banned := range []string{"src=\"http", "href=\"http", "@import", "cdn."} {
 		if strings.Contains(body, banned) {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. All methods are safe for
@@ -92,7 +93,18 @@ type Histogram struct {
 	name, help string
 	bounds     []float64
 	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf
+	exemplars  []atomic.Pointer[Exemplar]
 	sumBits    atomic.Uint64
+}
+
+// Exemplar links one recent observation in a histogram bucket to the trace
+// that produced it, so a latency spike on a dashboard jumps straight to a
+// /debug/traces trace. Exposed as OpenMetrics exemplars on /metrics and as a
+// per-bucket field in /metrics.json.
+type Exemplar struct {
+	Value    float64 `json:"value"`
+	TraceID  string  `json:"trace_id"`
+	UnixNano int64   `json:"unix_nano"`
 }
 
 // Observe folds one sample into the distribution.
@@ -111,13 +123,33 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar is Observe plus an exemplar: the bucket the sample lands in
+// retains (value, traceID, now), replacing that bucket's previous exemplar.
+// An empty traceID degrades to a plain Observe, so callers can pass the
+// sampled trace ID unconditionally and pay the pointer store only for the
+// (rare) traced observations.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, UnixNano: time.Now().UnixNano()})
+}
+
 // HistogramSnapshot is a consistent copy of a histogram's state. Counts are
 // per-bucket (not cumulative); the last entry is the +Inf bucket.
 type HistogramSnapshot struct {
 	Bounds []float64
 	Counts []uint64
-	Sum    float64
-	Count  uint64
+	// Exemplars holds the retained exemplar per bucket (len(Counts) entries,
+	// nil where a bucket has none).
+	Exemplars []*Exemplar
+	Sum       float64
+	Count     uint64
 }
 
 // Snapshot returns a copy of the distribution.
@@ -126,13 +158,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		return HistogramSnapshot{}
 	}
 	snap := HistogramSnapshot{
-		Bounds: h.bounds,
-		Counts: make([]uint64, len(h.counts)),
-		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Bounds:    h.bounds,
+		Counts:    make([]uint64, len(h.counts)),
+		Exemplars: make([]*Exemplar, len(h.counts)),
+		Sum:       math.Float64frombits(h.sumBits.Load()),
 	}
 	for i := range h.counts {
 		snap.Counts[i] = h.counts[i].Load()
 		snap.Count += snap.Counts[i]
+		snap.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return snap
 }
@@ -225,10 +259,11 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 		panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
 	}
 	h := &Histogram{
-		name:   name,
-		help:   help,
-		bounds: append([]float64(nil), buckets...),
-		counts: make([]atomic.Uint64, len(buckets)+1),
+		name:      name,
+		help:      help,
+		bounds:    append([]float64(nil), buckets...),
+		counts:    make([]atomic.Uint64, len(buckets)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(buckets)+1),
 	}
 	r.histograms[name] = h
 	return h
@@ -344,12 +379,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for i, bound := range snap.Bounds {
 			cum += snap.Counts[i]
 			le := fmt.Sprintf("le=%q", formatFloat(bound))
-			if _, err := fmt.Fprintf(w, "%s %d\n", series(base+"_bucket", labels, le), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d%s\n",
+				series(base+"_bucket", labels, le), cum, exemplarSuffix(snap.Exemplars[i])); err != nil {
 				return err
 			}
 		}
 		cum += snap.Counts[len(snap.Counts)-1]
-		if _, err := fmt.Fprintf(w, "%s %d\n", series(base+"_bucket", labels, `le="+Inf"`), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d%s\n",
+			series(base+"_bucket", labels, `le="+Inf"`), cum,
+			exemplarSuffix(snap.Exemplars[len(snap.Exemplars)-1])); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
@@ -375,6 +413,18 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// exemplarSuffix renders an OpenMetrics exemplar annotation for one bucket
+// line (" # {trace_id=\"...\"} value timestamp"), or "" when the bucket has
+// no exemplar — so histograms without exemplars encode byte-identically to
+// the plain 0.0.4 text format.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	ts := float64(e.UnixNano) / 1e9
+	return fmt.Sprintf(" # {trace_id=%q} %s %s", e.TraceID, formatFloat(e.Value), strconv.FormatFloat(ts, 'f', 3, 64))
+}
+
 // histogramJSON is the JSON shape of one histogram.
 type histogramJSON struct {
 	Count   uint64       `json:"count"`
@@ -384,8 +434,9 @@ type histogramJSON struct {
 
 // bucketJSON is one cumulative histogram bucket.
 type bucketJSON struct {
-	LE    float64 `json:"le"`
-	Count uint64  `json:"count"`
+	LE       float64   `json:"le"`
+	Count    uint64    `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot returns every metric's current value keyed by name — counters as
@@ -407,7 +458,7 @@ func (r *Registry) Snapshot() map[string]any {
 		var cum uint64
 		for i, bound := range snap.Bounds {
 			cum += snap.Counts[i]
-			hj.Buckets = append(hj.Buckets, bucketJSON{LE: bound, Count: cum})
+			hj.Buckets = append(hj.Buckets, bucketJSON{LE: bound, Count: cum, Exemplar: snap.Exemplars[i]})
 		}
 		out[name] = hj
 	}

@@ -1,0 +1,54 @@
+package profiles
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Handler serves the ring:
+//
+//	GET /debug/profiles            → JSON index, newest first
+//	GET /debug/profiles/<file>     → the raw pprof file
+//
+// Mount it at both "/debug/profiles" and "/debug/profiles/".
+func Handler(c *Capturer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c == nil {
+			http.Error(w, "profiling disabled", http.StatusNotFound)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/debug/profiles")
+		rest = strings.TrimPrefix(rest, "/")
+		if rest == "" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"dir":      c.cfg.Dir,
+				"profiles": c.Index(),
+			})
+			return
+		}
+		// Only serve names the ring itself produced: parseable, no path
+		// separators.
+		if _, ok := parseEntryName(rest); !ok || strings.ContainsAny(rest, "/\\") {
+			http.Error(w, "no such profile", http.StatusNotFound)
+			return
+		}
+		path := filepath.Join(c.cfg.Dir, rest)
+		f, err := os.Open(path)
+		if err != nil {
+			http.Error(w, "no such profile", http.StatusNotFound)
+			return
+		}
+		defer f.Close()
+		info, err := f.Stat()
+		if err != nil {
+			http.Error(w, "no such profile", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeContent(w, r, rest, info.ModTime(), f)
+	})
+}

@@ -1,0 +1,62 @@
+package obs
+
+import "sort"
+
+// SampleKind says how a flattened sample's value behaves over time, which is
+// what a time-series store needs to pick its delta codec: counters are
+// integral and monotone (small integer deltas), gauges are arbitrary floats
+// (XOR-of-bits deltas).
+type SampleKind uint8
+
+const (
+	// KindCounter marks a cumulative, integral, non-decreasing sample.
+	KindCounter SampleKind = iota
+	// KindGauge marks an arbitrary float sample.
+	KindGauge
+)
+
+// Sample is one metric flattened to a single float at an instant. Histograms
+// expand into one counter sample per cumulative bucket (`name_bucket` with an
+// `le` label, Prometheus-style) plus `name_sum` and `name_count`, so
+// quantile-over-time can be recomputed from bucket increases later.
+type Sample struct {
+	Name  string
+	Kind  SampleKind
+	Value float64
+}
+
+// Samples flattens every registered metric into scalar samples, sorted by
+// name. This is the enumeration surface the embedded time-series store
+// scrapes on its ticker; it holds the registry read lock only while listing,
+// and each value read is an atomic load.
+func (r *Registry) Samples() []Sample {
+	r.mu.RLock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+8*len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Kind: KindCounter, Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Kind: KindGauge, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		base, labels := SplitMetricName(name)
+		snap := h.Snapshot()
+		var cum uint64
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			le := "le=\"" + formatFloat(bound) + "\""
+			out = append(out, Sample{
+				Name: series(base+"_bucket", labels, le), Kind: KindCounter, Value: float64(cum),
+			})
+		}
+		cum += snap.Counts[len(snap.Counts)-1]
+		out = append(out,
+			Sample{Name: series(base+"_bucket", labels, `le="+Inf"`), Kind: KindCounter, Value: float64(cum)},
+			Sample{Name: series(base+"_sum", labels, ""), Kind: KindGauge, Value: snap.Sum},
+			Sample{Name: series(base+"_count", labels, ""), Kind: KindCounter, Value: float64(cum)},
+		)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

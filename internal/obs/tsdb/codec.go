@@ -1,0 +1,96 @@
+// Package tsdb is an embedded, bounded time-series store for the obs metrics
+// registry: a sampler ticks over Registry.Samples(), appending each scalar
+// into per-series delta-encoded chunks, and a query evaluator serves instant
+// and range queries (raw / rate / increase / quantile-over-time) over the
+// retained window. Everything is in-process and stdlib-only — the point is
+// historical evidence (dashboard graphs, bottleneck attribution over time)
+// without an external Prometheus.
+package tsdb
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// chunkCap is the number of samples per chunk. At 1s resolution a chunk spans
+// 4 minutes; eviction drops whole chunks, so retention granularity is one
+// chunk.
+const chunkCap = 240
+
+// chunk is one delta-encoded run of samples for a series. The first sample
+// stores the absolute timestamp (unix ms) and value; subsequent samples store
+// a uvarint millisecond timestamp delta plus a value delta whose encoding
+// depends on the series kind:
+//
+//   - counters: zigzag varint of int64(v) - int64(prev). Counter samples are
+//     integral (obs counters are uint64), so integer deltas are exact and
+//     tiny for slowly moving series.
+//   - gauges: uvarint of Float64bits(v) XOR Float64bits(prev) — exact for
+//     every float, and near-zero bytes when the value repeats.
+type chunk struct {
+	startT int64   // unix ms of first sample
+	startV float64 // value of first sample
+	lastT  int64   // unix ms of last sample (== startT when n == 1)
+	lastV  float64 // value of last sample
+	n      int     // samples in chunk, including the first
+	buf    []byte  // encoded deltas for samples 2..n
+}
+
+// append encodes one sample onto the chunk and reports whether it fit.
+// Timestamps must be non-decreasing; the caller guarantees this (one sampler
+// goroutine).
+func (c *chunk) append(t int64, v float64, counter bool) bool {
+	if c.n == 0 {
+		c.startT, c.startV = t, v
+		c.lastT, c.lastV = t, v
+		c.n = 1
+		return true
+	}
+	if c.n >= chunkCap {
+		return false
+	}
+	c.buf = binary.AppendUvarint(c.buf, uint64(t-c.lastT))
+	if counter {
+		c.buf = binary.AppendVarint(c.buf, int64(v)-int64(c.lastV))
+	} else {
+		c.buf = binary.AppendUvarint(c.buf, math.Float64bits(v)^math.Float64bits(c.lastV))
+	}
+	c.lastT, c.lastV = t, v
+	c.n++
+	return true
+}
+
+// point is one decoded sample.
+type point struct {
+	t int64 // unix ms
+	v float64
+}
+
+// decode expands the chunk back into points, appending to dst.
+func (c *chunk) decode(dst []point, counter bool) []point {
+	if c.n == 0 {
+		return dst
+	}
+	dst = append(dst, point{c.startT, c.startV})
+	t, v := c.startT, c.startV
+	buf := c.buf
+	for i := 1; i < c.n; i++ {
+		dt, k := binary.Uvarint(buf)
+		buf = buf[k:]
+		t += int64(dt)
+		if counter {
+			dv, k := binary.Varint(buf)
+			buf = buf[k:]
+			v = float64(int64(v) + dv)
+		} else {
+			bits, k := binary.Uvarint(buf)
+			buf = buf[k:]
+			v = math.Float64frombits(math.Float64bits(v) ^ bits)
+		}
+		dst = append(dst, point{t, v})
+	}
+	return dst
+}
+
+// bytes reports the approximate memory footprint of the chunk's encoding.
+func (c *chunk) bytes() int { return len(c.buf) + 48 }

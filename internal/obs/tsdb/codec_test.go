@@ -1,0 +1,128 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestChunkRoundTripCounter fills a chunk with an integral counter walk
+// (including resets to smaller values — process restarts) and checks the
+// decode is bit-exact.
+func TestChunkRoundTripCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var c chunk
+	var want []point
+	ts, v := int64(1_700_000_000_000), int64(0)
+	for i := 0; i < chunkCap; i++ {
+		if !c.append(ts, float64(v), true) {
+			t.Fatalf("append %d rejected before chunkCap", i)
+		}
+		want = append(want, point{ts, float64(v)})
+		ts += int64(rng.Intn(5000))
+		switch rng.Intn(10) {
+		case 0:
+			v = int64(rng.Intn(100)) // counter reset
+		default:
+			v += int64(rng.Intn(1_000_000))
+		}
+	}
+	if c.append(ts, float64(v), true) {
+		t.Fatal("append beyond chunkCap accepted")
+	}
+	got := c.decode(nil, true)
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChunkRoundTripGauge checks the XOR-of-bits gauge codec is exact for
+// arbitrary floats: negatives, tiny values, repeats, zero.
+func TestChunkRoundTripGauge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var c chunk
+	var want []point
+	ts := int64(1_700_000_000_000)
+	v := 0.0
+	for i := 0; i < chunkCap; i++ {
+		if !c.append(ts, v, false) {
+			t.Fatalf("append %d rejected before chunkCap", i)
+		}
+		want = append(want, point{ts, v})
+		ts += 1000
+		switch rng.Intn(5) {
+		case 0: // repeat: should cost ~1 byte
+		case 1:
+			v = -v
+		case 2:
+			v = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(30)-15))
+		default:
+			v += rng.Float64()
+		}
+	}
+	got := c.decode(nil, false)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// FuzzChunkRoundTripGauge round-trips arbitrary float triples through the
+// gauge codec.
+func FuzzChunkRoundTripGauge(f *testing.F) {
+	f.Add(0.0, 1.5, -2.25, uint16(100))
+	f.Add(math.MaxFloat64, math.SmallestNonzeroFloat64, 0.0, uint16(0))
+	f.Add(-1e-300, 1e300, math.Inf(1), uint16(65535))
+	f.Fuzz(func(t *testing.T, a, b, c float64, dt uint16) {
+		var ch chunk
+		ts := int64(1_000_000)
+		vals := []float64{a, b, c}
+		for _, v := range vals {
+			if !ch.append(ts, v, false) {
+				t.Fatal("append rejected")
+			}
+			ts += int64(dt)
+		}
+		got := ch.decode(nil, false)
+		if len(got) != len(vals) {
+			t.Fatalf("decoded %d points, want %d", len(got), len(vals))
+		}
+		for i, v := range vals {
+			gb, wb := math.Float64bits(got[i].v), math.Float64bits(v)
+			if gb != wb {
+				t.Fatalf("point %d bits = %x, want %x", i, gb, wb)
+			}
+		}
+	})
+}
+
+// FuzzChunkRoundTripCounter round-trips integral counter values — including
+// decreases (resets) — within float64's exact-integer range, the codec's
+// documented contract for counter samples.
+func FuzzChunkRoundTripCounter(f *testing.F) {
+	f.Add(uint64(0), uint64(10), uint64(3), uint16(1000))
+	f.Add(uint64(1<<52), uint64(0), uint64(1<<52), uint16(0))
+	f.Fuzz(func(t *testing.T, a, b, c uint64, dt uint16) {
+		var ch chunk
+		ts := int64(1_000_000)
+		vals := []uint64{a % (1 << 53), b % (1 << 53), c % (1 << 53)}
+		for _, v := range vals {
+			if !ch.append(ts, float64(v), true) {
+				t.Fatal("append rejected")
+			}
+			ts += int64(dt)
+		}
+		got := ch.decode(nil, true)
+		for i, v := range vals {
+			if got[i].v != float64(v) {
+				t.Fatalf("point %d = %v, want %v", i, got[i].v, float64(v))
+			}
+		}
+	})
+}

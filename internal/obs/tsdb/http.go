@@ -1,0 +1,100 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Handler serves the query API:
+//
+//	GET /metrics/range?metric=NAME[&func=raw|rate|increase|quantile][&q=0.99]
+//	    [&window=30s][&start=unixMs][&end=unixMs][&step=ms]
+//	GET /metrics/range?prefix=fleet_shard
+//	GET /metrics/range?list=1
+//
+// start/end are unix milliseconds; omitting start makes the query an instant
+// evaluation at end (default: now). window accepts Go durations ("30s") or
+// plain milliseconds. list=1 returns the tracked series names plus store
+// stats instead of evaluating.
+func Handler(db *DB) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if db == nil {
+			http.Error(w, "time-series store disabled", http.StatusNotFound)
+			return
+		}
+		qs := r.URL.Query()
+		if qs.Get("list") != "" {
+			names := db.SeriesNames()
+			sort.Strings(names)
+			writeJSON(w, map[string]any{"series": names, "stats": db.Stats()})
+			return
+		}
+		q := RangeQuery{
+			Metric: qs.Get("metric"),
+			Prefix: qs.Get("prefix"),
+			Func:   qs.Get("func"),
+		}
+		var err error
+		if v := qs.Get("q"); v != "" {
+			if q.Q, err = strconv.ParseFloat(v, 64); err != nil {
+				http.Error(w, "bad q: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if q.Window, err = parseDurationParam(qs.Get("window")); err != nil {
+			http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if q.Step, err = parseDurationParam(qs.Get("step")); err != nil {
+			http.Error(w, "bad step: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if q.Start, err = parseUnixMsParam(qs.Get("start")); err != nil {
+			http.Error(w, "bad start: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if q.End, err = parseUnixMsParam(qs.Get("end")); err != nil {
+			http.Error(w, "bad end: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := db.Query(q, time.Now())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, res)
+	})
+}
+
+// parseDurationParam accepts a Go duration string ("30s") or a bare integer
+// of milliseconds. Empty means zero.
+func parseDurationParam(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if ms, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	return time.ParseDuration(s)
+}
+
+// parseUnixMsParam parses a unix-milliseconds timestamp. Empty means zero
+// time.
+func parseUnixMsParam(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	ms, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.UnixMilli(ms), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

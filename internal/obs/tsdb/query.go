@@ -1,0 +1,346 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sensorguard/internal/obs"
+)
+
+// RangeQuery selects series and an evaluation function over the retained
+// window.
+type RangeQuery struct {
+	// Metric selects series whose full name or base name (label body
+	// stripped) equals this. For Func "quantile", Metric names the histogram
+	// base and the evaluator matches its `_bucket` series.
+	Metric string
+	// Prefix selects series by name prefix instead of Metric.
+	Prefix string
+	// Func is raw (default), rate, increase, or quantile.
+	Func string
+	// Q is the quantile in (0,1] for Func "quantile".
+	Q float64
+	// Window is the lookback per evaluation point for rate/increase/quantile.
+	// Default 1m.
+	Window time.Duration
+	// Start/End bound the evaluation range. Zero Start evaluates a single
+	// instant at End. Zero End means now.
+	Start, End time.Time
+	// Step spaces evaluation points. Default spreads ~240 points over the
+	// range; clamped so a query never evaluates more than 2000 points.
+	Step time.Duration
+}
+
+// Series is one evaluated output series: points are [unixMs, value] pairs.
+type Series struct {
+	Name   string       `json:"name"`
+	Points [][2]float64 `json:"points"`
+}
+
+// Result is a query response.
+type Result struct {
+	Metric  string        `json:"metric"`
+	Func    string        `json:"func"`
+	StartMs int64         `json:"start_ms,omitempty"`
+	EndMs   int64         `json:"end_ms"`
+	StepMs  int64         `json:"step_ms,omitempty"`
+	Series  []Series      `json:"series"`
+	Elapsed time.Duration `json:"-"`
+}
+
+const maxEvalPoints = 2000
+
+// Query evaluates q against the store.
+func (db *DB) Query(q RangeQuery, now time.Time) (*Result, error) {
+	if q.Metric == "" && q.Prefix == "" {
+		return nil, fmt.Errorf("tsdb: query needs metric or prefix")
+	}
+	fn := q.Func
+	if fn == "" {
+		fn = "raw"
+	}
+	switch fn {
+	case "raw", "rate", "increase", "quantile":
+	default:
+		return nil, fmt.Errorf("tsdb: unknown func %q", q.Func)
+	}
+	if fn == "quantile" && (q.Q <= 0 || q.Q > 1) {
+		return nil, fmt.Errorf("tsdb: quantile q must be in (0,1], got %g", q.Q)
+	}
+	if q.Window <= 0 {
+		q.Window = time.Minute
+	}
+	if q.End.IsZero() {
+		q.End = now
+	}
+
+	// Evaluation grid.
+	instant := q.Start.IsZero()
+	var times []int64
+	step := q.Step
+	if instant {
+		times = []int64{q.End.UnixMilli()}
+	} else {
+		span := q.End.Sub(q.Start)
+		if span < 0 {
+			return nil, fmt.Errorf("tsdb: start after end")
+		}
+		if step <= 0 {
+			step = span / 240
+		}
+		if step < db.cfg.Resolution {
+			step = db.cfg.Resolution
+		}
+		if n := span / step; n > maxEvalPoints {
+			step = span / maxEvalPoints
+		}
+		for t := q.Start.UnixMilli(); t <= q.End.UnixMilli(); t += step.Milliseconds() {
+			times = append(times, t)
+		}
+	}
+
+	names := db.matchSeries(q, fn)
+	res := &Result{Metric: q.Metric, Func: fn, EndMs: q.End.UnixMilli()}
+	if q.Metric == "" {
+		res.Metric = q.Prefix
+	}
+	if !instant {
+		res.StartMs = q.Start.UnixMilli()
+		res.StepMs = step.Milliseconds()
+	}
+
+	if fn == "quantile" {
+		res.Series = db.evalQuantile(q, names, times)
+		return res, nil
+	}
+	for _, name := range names {
+		pts, kind, ok := db.read(name)
+		if !ok {
+			continue
+		}
+		out := Series{Name: name}
+		for _, t := range times {
+			v, ok := evalAt(fn, pts, kind, t, q.Window)
+			if !ok {
+				continue
+			}
+			out.Points = append(out.Points, [2]float64{float64(t), v})
+		}
+		if len(out.Points) > 0 {
+			res.Series = append(res.Series, out)
+		}
+	}
+	sort.Slice(res.Series, func(i, j int) bool { return res.Series[i].Name < res.Series[j].Name })
+	return res, nil
+}
+
+// matchSeries returns the sorted series names the query selects.
+func (db *DB) matchSeries(q RangeQuery, fn string) []string {
+	all := db.SeriesNames()
+	var out []string
+	for _, name := range all {
+		base, _ := obs.SplitMetricName(name)
+		switch {
+		case fn == "quantile":
+			if base == q.Metric+"_bucket" {
+				out = append(out, name)
+			}
+		case q.Prefix != "":
+			if strings.HasPrefix(name, q.Prefix) {
+				out = append(out, name)
+			}
+		default:
+			if name == q.Metric || base == q.Metric {
+				out = append(out, name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// evalAt computes one evaluation function at time t (unix ms) over the
+// trailing window.
+func evalAt(fn string, pts []point, kind obs.SampleKind, t int64, window time.Duration) (float64, bool) {
+	winMs := window.Milliseconds()
+	lo, hi := windowIndex(pts, t-winMs, t)
+	if lo >= hi {
+		return 0, false
+	}
+	in := pts[lo:hi]
+	switch fn {
+	case "raw":
+		return in[len(in)-1].v, true
+	case "increase":
+		if len(in) < 2 {
+			return 0, false
+		}
+		return increase(in, kind), true
+	case "rate":
+		if len(in) < 2 {
+			return 0, false
+		}
+		elapsed := float64(in[len(in)-1].t-in[0].t) / 1000
+		if elapsed <= 0 {
+			return 0, false
+		}
+		return increase(in, kind) / elapsed, true
+	}
+	return 0, false
+}
+
+// windowIndex returns the half-open index range of points whose timestamps
+// fall in [fromMs, toMs].
+func windowIndex(pts []point, fromMs, toMs int64) (int, int) {
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].t >= fromMs })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].t > toMs })
+	return lo, hi
+}
+
+// increase sums reset-tolerant deltas across consecutive points, matching the
+// SLO engine's counter-reset folding: a negative delta means the process
+// restarted, so the increase contributed by that step is the new raw value.
+// Gauges get plain last-minus-first (resets are meaningless for them).
+func increase(in []point, kind obs.SampleKind) float64 {
+	if kind != obs.KindCounter {
+		return in[len(in)-1].v - in[0].v
+	}
+	var total float64
+	for i := 1; i < len(in); i++ {
+		d := in[i].v - in[i-1].v
+		if d < 0 {
+			d = in[i].v
+		}
+		total += d
+	}
+	return total
+}
+
+// evalQuantile computes quantile-over-time for a histogram: per evaluation
+// point, the increase of every cumulative `_bucket` series over the window
+// feeds the standard bucket-interpolation quantile. Bucket series are grouped
+// by their label body minus `le`, producing one output series per labeled
+// histogram.
+func (db *DB) evalQuantile(q RangeQuery, names []string, times []int64) []Series {
+	type bucketSeries struct {
+		le  float64
+		pts []point
+	}
+	groups := make(map[string][]bucketSeries)
+	for _, name := range names {
+		_, labels := obs.SplitMetricName(name)
+		le, rest, ok := splitLE(labels)
+		if !ok {
+			continue
+		}
+		pts, _, found := db.read(name)
+		if !found {
+			continue
+		}
+		groups[rest] = append(groups[rest], bucketSeries{le: le, pts: pts})
+	}
+	var out []Series
+	for rest, buckets := range groups {
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+		name := q.Metric
+		if rest != "" {
+			name += "{" + rest + "}"
+		}
+		s := Series{Name: name}
+		bounds := make([]float64, len(buckets))
+		cums := make([]float64, len(buckets))
+		for _, t := range times {
+			ok := true
+			for i, b := range buckets {
+				bounds[i] = b.le
+				lo, hi := windowIndex(b.pts, t-q.Window.Milliseconds(), t)
+				if hi-lo < 2 {
+					ok = false
+					break
+				}
+				cums[i] = increase(b.pts[lo:hi], obs.KindCounter)
+			}
+			if !ok {
+				continue
+			}
+			v, valid := histQuantile(q.Q, bounds, cums)
+			if !valid {
+				continue
+			}
+			s.Points = append(s.Points, [2]float64{float64(t), v})
+		}
+		if len(s.Points) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// splitLE extracts the le bound from a bucket label body, returning the
+// remaining labels. `le="0.005",shard="3"` → (0.005, `shard="3"`).
+func splitLE(labels string) (float64, string, bool) {
+	var rest []string
+	le := ""
+	for _, part := range strings.Split(labels, ",") {
+		if strings.HasPrefix(part, `le="`) && strings.HasSuffix(part, `"`) {
+			le = part[4 : len(part)-1]
+			continue
+		}
+		rest = append(rest, part)
+	}
+	if le == "" {
+		return 0, "", false
+	}
+	var bound float64
+	if le == "+Inf" {
+		bound = infBound
+	} else if _, err := fmt.Sscanf(le, "%g", &bound); err != nil {
+		return 0, "", false
+	}
+	return bound, strings.Join(rest, ","), true
+}
+
+// infBound stands in for the +Inf bucket so sorting and interpolation treat
+// it as the last bucket.
+const infBound = 1e308
+
+// histQuantile interpolates the q-quantile from cumulative bucket counts, the
+// same way Prometheus histogram_quantile does: find the first bucket whose
+// cumulative count reaches rank q·total, then interpolate linearly inside it.
+// A rank landing in the +Inf bucket returns the last finite bound.
+func histQuantile(q float64, bounds, cums []float64) (float64, bool) {
+	n := len(bounds)
+	if n == 0 {
+		return 0, false
+	}
+	total := cums[n-1]
+	if total <= 0 {
+		return 0, false
+	}
+	rank := q * total
+	i := sort.Search(n, func(i int) bool { return cums[i] >= rank })
+	if i == n {
+		i = n - 1
+	}
+	if bounds[i] >= infBound {
+		// Rank in +Inf: best estimate is the largest finite bound.
+		for j := i - 1; j >= 0; j-- {
+			if bounds[j] < infBound {
+				return bounds[j], true
+			}
+		}
+		return 0, false
+	}
+	lowerBound, lowerCum := 0.0, 0.0
+	if i > 0 {
+		lowerBound, lowerCum = bounds[i-1], cums[i-1]
+	}
+	inBucket := cums[i] - lowerCum
+	if inBucket <= 0 {
+		return bounds[i], true
+	}
+	return lowerBound + (bounds[i]-lowerBound)*(rank-lowerCum)/inBucket, true
+}

@@ -8,6 +8,8 @@ import (
 	"sensorguard/internal/fleet"
 	"sensorguard/internal/ingest"
 	"sensorguard/internal/obs"
+	"sensorguard/internal/obs/profiles"
+	"sensorguard/internal/obs/tsdb"
 )
 
 // Serving types, re-exported so the streaming collector can be embedded
@@ -41,7 +43,29 @@ type (
 	FleetHealth = fleet.Health
 	// FleetBuildInfo is the binary's build identity, served inside /status.
 	FleetBuildInfo = fleet.BuildInfo
+	// FleetBottleneck is the pool's live per-stage bottleneck attribution,
+	// served inside /status (see docs/OBSERVABILITY.md).
+	FleetBottleneck = fleet.Bottleneck
+	// MetricsTSDB is the embedded bounded time-series store behind
+	// /metrics/range and the dashboard's historical graphs.
+	MetricsTSDB = tsdb.DB
+	// MetricsTSDBConfig sizes the time-series store.
+	MetricsTSDBConfig = tsdb.Config
+	// ProfileCapturer is the continuous-profiling ring behind /debug/profiles.
+	ProfileCapturer = profiles.Capturer
+	// ProfileConfig sizes the profile ring.
+	ProfileConfig = profiles.Config
 )
+
+// NewMetricsTSDB builds an embedded time-series store; call Start to begin
+// sampling and Close to stop. Hand it to FleetConfig.TSDB to serve
+// /metrics/range.
+func NewMetricsTSDB(cfg MetricsTSDBConfig) *MetricsTSDB { return tsdb.New(cfg) }
+
+// NewProfileCapturer builds a profile-capture ring; call Start for periodic
+// capture and Close to stop. Hand it to FleetConfig.Profiles so firing SLO
+// alerts capture incident profiles.
+func NewProfileCapturer(cfg ProfileConfig) (*ProfileCapturer, error) { return profiles.New(cfg) }
 
 // FleetBuild reports the running binary's build identity (module version,
 // VCS revision, and dirty flag) read from runtime/debug build info.
@@ -113,6 +137,13 @@ func ServeIngestTCP(addr string, c IngestConsumer) (*IngestTCPServer, error) {
 // spans recorded under tr's sampling policy (tr may be nil).
 func ServeIngestTCPTraced(addr string, c IngestConsumer, tr *Tracer) (*IngestTCPServer, error) {
 	return ingest.ServeTCPTraced(addr, c, ingest.DefaultTCPIdleTimeout, tr)
+}
+
+// ServeIngestTCPFor is ServeIngestTCPTraced wired to a fleet: connections
+// inherit the pool's tracer and feed the ingest_decode stage clock, so TCP
+// ingestion participates in bottleneck attribution like POST /ingest does.
+func ServeIngestTCPFor(addr string, p *Fleet) (*IngestTCPServer, error) {
+	return ingest.ServeTCPStaged(addr, p, ingest.DefaultTCPIdleTimeout, p.Tracer(), p.DecodeClock())
 }
 
 // ReadIngestStream decodes NDJSON readings from r and submits each to c
