@@ -71,6 +71,7 @@ type options struct {
 	post        string
 	postBatch   int
 	postRetry   time.Duration
+	wire        string
 }
 
 func run(args []string, out, errOut io.Writer) error {
@@ -92,6 +93,7 @@ func run(args []string, out, errOut io.Writer) error {
 	fs.StringVar(&o.post, "post", "", "with -stream: POST the NDJSON to this ingest URL (e.g. http://localhost:8080/ingest) instead of stdout, retrying transient failures")
 	fs.IntVar(&o.postBatch, "post-batch", 500, "readings per POST request in -post mode")
 	fs.DurationVar(&o.postRetry, "post-retry", time.Minute, "-post mode: how long to keep retrying one batch through transient errors before giving up")
+	fs.StringVar(&o.wire, "wire", ingest.WireNDJSON, "wire codec for -stream/-post: ndjson | binary (columnar frames, see docs/SERVING.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,6 +131,9 @@ func run(args []string, out, errOut io.Writer) error {
 	if o.stream {
 		if o.post != "" {
 			return postTrace(tr, o, errOut)
+		}
+		if o.wire == ingest.WireBinary {
+			return streamTraceBinary(out, tr, o)
 		}
 		return streamTrace(out, tr, o.deployment, o.rate)
 	}
@@ -174,6 +179,14 @@ func (o options) validate() error {
 	if o.postBatch <= 0 {
 		errs = append(errs, fmt.Errorf("-post-batch must be positive (got %d)", o.postBatch))
 	}
+	switch o.wire {
+	case ingest.WireNDJSON, ingest.WireBinary:
+	default:
+		errs = append(errs, fmt.Errorf("-wire must be %s or %s (got %q)", ingest.WireNDJSON, ingest.WireBinary, o.wire))
+	}
+	if o.wire == ingest.WireBinary && !o.stream {
+		errs = append(errs, errors.New("-wire=binary needs -stream"))
+	}
 	if o.postRetry <= 0 {
 		errs = append(errs, fmt.Errorf("-post-retry must be positive (got %v)", o.postRetry))
 	}
@@ -212,6 +225,53 @@ func streamTrace(out io.Writer, tr sensorguard.Trace, deployment string, rate fl
 	return bw.Flush()
 }
 
+// streamTraceBinary replays a trace as binary frames on stdout — the same
+// batches -post would ship, without the HTTP leg — for piping straight into
+// a sentinel source or a file for later replay. When pacing, the staged
+// frame is flushed before each sleep so a live consumer sees readings as
+// they "happen".
+func streamTraceBinary(out io.Writer, tr sensorguard.Trace, o options) error {
+	bw := bufio.NewWriter(out)
+	var enc ingest.FrameEncoder
+	flush := func() error {
+		if enc.Len() == 0 {
+			return nil
+		}
+		frame, err := enc.Frame()
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+		enc.Reset()
+		return nil
+	}
+	var prev time.Duration
+	for i, r := range tr.Readings {
+		if o.rate > 0 && i > 0 && r.Time > prev {
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			time.Sleep(time.Duration(float64(r.Time-prev) / o.rate))
+		}
+		prev = r.Time
+		enc.Add(ingest.Reading{Deployment: o.deployment, Reading: r})
+		if enc.Len() >= o.postBatch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // postTrace ships the trace as NDJSON batches over HTTP to a running
 // sentinel via the shared ingest.Shipper (the same shipping path cmd/sgsim
 // drives its labeled campaigns through). Each reading carries a wire
@@ -226,6 +286,7 @@ func postTrace(tr sensorguard.Trace, o options, errOut io.Writer) error {
 		RetryBudget: o.postRetry,
 		Logger:      sensorguard.NewLogger(errOut, slog.LevelInfo, "gdigen"),
 		Seed:        o.seed + 7,
+		Wire:        o.wire,
 	})
 	if err != nil {
 		return err

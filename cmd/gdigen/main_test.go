@@ -124,6 +124,54 @@ func TestRunStreamNDJSON(t *testing.T) {
 	}
 }
 
+// frameCollector gathers readings submitted by the wire reader.
+type frameCollector struct {
+	readings []sensorguard.IngestReading
+}
+
+func (c *frameCollector) Submit(r sensorguard.IngestReading) error {
+	c.readings = append(c.readings, r)
+	return nil
+}
+
+func TestRunStreamBinaryWire(t *testing.T) {
+	// -wire=binary is a re-encoding of the same stream: decoding the frame
+	// output must yield exactly the readings of the NDJSON stream.
+	gen := []string{"-days", "2", "-sensors", "5", "-seed", "3", "-fault", "stuck", "-fault-start", "1h"}
+	var csvBuf bytes.Buffer
+	if err := run(gen, &csvBuf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sensorguard.ReadTraceCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run(append(gen, "-stream", "-wire", "binary", "-deployment", "ridge"), &buf, io.Discard); err != nil {
+		t.Fatalf("run -stream -wire binary: %v", err)
+	}
+	if buf.Len() == 0 || buf.Bytes()[0] != 0xBF {
+		t.Fatalf("output does not start with the frame magic byte: % x", buf.Bytes()[:min(buf.Len(), 8)])
+	}
+	var col frameCollector
+	st, err := sensorguard.ReadIngestWire(&buf, &col, nil)
+	if err != nil {
+		t.Fatalf("frame stream undecodable: %v", err)
+	}
+	if st.Rejected != 0 || len(col.readings) != len(tr.Readings) {
+		t.Fatalf("decoded %d readings (%d rejected), trace has %d", len(col.readings), st.Rejected, len(tr.Readings))
+	}
+	for i, r := range col.readings {
+		if r.Deployment != "ridge" {
+			t.Fatalf("reading %d deployment %q, want ridge", i, r.Deployment)
+		}
+		if r.Sensor != tr.Readings[i].Sensor || r.Time != tr.Readings[i].Time {
+			t.Fatalf("reading %d is %+v, want %+v", i, r.Reading, tr.Readings[i])
+		}
+	}
+}
+
 func TestRunStreamPaced(t *testing.T) {
 	// A very high rate multiplier still exercises the pacing branch without
 	// slowing the test measurably.
@@ -371,6 +419,8 @@ func TestValidateRejectsBadFlagCombinations(t *testing.T) {
 		{"empty deployment", []string{"-stream", "-deployment", ""}, "-deployment"},
 		{"negative fault sensor", []string{"-fault", "stuck", "-fault-sensor", "-3"}, "-fault-sensor"},
 		{"negative fault start", []string{"-fault", "stuck", "-fault-start", "-1h"}, "-fault-start"},
+		{"unknown wire", []string{"-stream", "-wire", "bogus"}, "-wire"},
+		{"binary wire without stream", []string{"-wire", "binary"}, "-wire=binary needs -stream"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -41,6 +41,7 @@ type serveOptions struct {
 	tsdbResolution  time.Duration // historical metrics sampling interval
 	profileDir      string        // profile ring directory; empty disables capture
 	profileInterval time.Duration // periodic capture cadence; 0 = alert-triggered only
+	decodeWorkers   int           // binary frame decode pool size; 0 = one per core
 }
 
 // shutdownGrace bounds how long in-flight HTTP requests may run after a
@@ -66,6 +67,9 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 		return err
 	}
 	log := logger(errOut)
+	if o.decodeWorkers > 0 {
+		sensorguard.SetIngestDecodeWorkers(o.decodeWorkers)
+	}
 	metrics := sensorguard.NewMetricsRegistry()
 	var tracer *sensorguard.Tracer
 	if o.traces > 0 {
@@ -199,12 +203,16 @@ func runServe(o serveOptions, stdin io.Reader, out, errOut io.Writer) error {
 			defer f.Close()
 			in = f
 		}
-		st, err := sensorguard.ReadIngestStreamTraced(in, pool, tracer)
+		// The source stream negotiates its codec like the listeners: the
+		// first byte decides between NDJSON and binary frames.
+		st, err := sensorguard.ReadIngestWireFor(in, pool)
 		if err != nil {
 			return err
 		}
 		log.Info("source stream done",
-			"accepted", st.Accepted, "rejected", st.Rejected, "dropped", st.Dropped)
+			"accepted", st.Accepted, "rejected", st.Rejected,
+			"rejected_decode", st.RejectedDecode, "rejected_oversize", st.RejectedOversize,
+			"dropped", st.Dropped)
 	} else {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

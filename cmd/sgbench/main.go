@@ -61,6 +61,7 @@ type options struct {
 	benchfmt    string // Go benchfmt output path (- for stdout)
 	convert     string // existing report to summarize instead of benching
 	profileDir  string // capture profiles of the largest-shard replay here
+	maxprocs    int    // GOMAXPROCS override; 0 leaves the runtime default
 }
 
 // report is the JSON document sgbench emits. Every latency is in
@@ -73,7 +74,9 @@ type report struct {
 	Deployments int          `json:"deployments"`
 	Passes      int          `json:"passes"`
 	LineBytes   int          `json:"ndjson_bytes_per_pass"`
+	FrameBytes  int          `json:"frame_bytes_per_pass"`
 	Decode      decodeStat   `json:"ingest_decode"`
+	DecodeBin   decodeStat   `json:"ingest_decode_binary"`
 	Fleet       []fleetRun   `json:"fleet"`
 	BareStep    bareStepStat `json:"detector_step"`
 }
@@ -122,6 +125,7 @@ func run(args []string, out, errOut io.Writer) error {
 	fs.StringVar(&o.benchfmt, "benchfmt", "", "also emit the report as Go benchmark lines for benchstat (- for stdout)")
 	fs.StringVar(&o.convert, "convert", "", "summarize an existing report instead of benchmarking (use with -record/-benchfmt)")
 	fs.StringVar(&o.profileDir, "profile-dir", "", "capture CPU/heap/goroutine profiles of the largest-shard replay into this ring directory")
+	fs.IntVar(&o.maxprocs, "maxprocs", 0, "override GOMAXPROCS for the run (recorded as the report's cpus; 0 = runtime default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +141,12 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	if o.days <= 0 || o.deployments <= 0 || o.passes <= 0 {
 		return fmt.Errorf("-days, -deployments, and -passes must be positive")
+	}
+	if o.maxprocs < 0 {
+		return fmt.Errorf("-maxprocs must be non-negative")
+	}
+	if o.maxprocs > 0 {
+		runtime.GOMAXPROCS(o.maxprocs)
 	}
 	shardCounts, err := parseShards(o.shards)
 	if err != nil {
@@ -167,9 +177,12 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 
 	rep := report{
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		CPUs:        runtime.NumCPU(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		// The effective parallelism of the run: NumCPU normally, the
+		// -maxprocs override when set (how a multi-core trajectory entry is
+		// recorded from a constrained box).
+		CPUs:        runtime.GOMAXPROCS(0),
 		TraceDays:   o.days,
 		Deployments: o.deployments,
 		Passes:      o.passes,
@@ -183,6 +196,22 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	log.Info("ingest decode",
 		"ns_per_line", rep.Decode.NsPerLine, "lines_per_sec", rep.Decode.LinesSec)
+
+	// The same readings through the binary codec: one columnar frame per 500
+	// readings (the shipper's default batch), decoded whole. Reported next to
+	// the NDJSON stat so the report carries both codecs on the same trace.
+	frames, frameBytes, err := encodeTraceFrames(decoded)
+	if err != nil {
+		return err
+	}
+	rep.FrameBytes = frameBytes
+	rep.DecodeBin, err = measureDecodeBinary(frames, len(decoded))
+	if err != nil {
+		return err
+	}
+	log.Info("ingest decode (binary)",
+		"ns_per_line", rep.DecodeBin.NsPerLine, "lines_per_sec", rep.DecodeBin.LinesSec,
+		"bytes_per_pass", frameBytes)
 
 	span := tr.Readings[len(tr.Readings)-1].Time + time.Hour
 	for _, shards := range shardCounts {
@@ -266,6 +295,52 @@ func encodeTrace(tr gdi.Trace, deployments int) ([][]byte, int, error) {
 		total += len(line) + 1
 	}
 	return lines, total, nil
+}
+
+// encodeTraceFrames renders the decoded trace as binary frames of 500
+// readings each — the shipper's default batch size, so the measured decode
+// matches what a -wire=binary producer actually puts on the wire.
+func encodeTraceFrames(decoded []ingest.Reading) ([][]byte, int, error) {
+	const batch = 500
+	var frames [][]byte
+	total := 0
+	var enc ingest.FrameEncoder
+	for i := 0; i < len(decoded); i += batch {
+		end := min(i+batch, len(decoded))
+		enc.Reset()
+		for _, r := range decoded[i:end] {
+			enc.Add(r)
+		}
+		frame, err := enc.Frame()
+		if err != nil {
+			return nil, 0, err
+		}
+		frames = append(frames, append([]byte(nil), frame...))
+		total += len(frame)
+	}
+	return frames, total, nil
+}
+
+// measureDecodeBinary times the binary frame decode over the whole trace,
+// mirroring measureDecode so the two stats are directly comparable
+// (lines == readings).
+func measureDecodeBinary(frames [][]byte, lines int) (decodeStat, error) {
+	const repeats = 5
+	start := time.Now()
+	for rep := 0; rep < repeats; rep++ {
+		for _, f := range frames {
+			if _, _, err := ingest.DecodeFrame(f); err != nil {
+				return decodeStat{}, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	n := repeats * lines
+	return decodeStat{
+		Lines:     lines,
+		NsPerLine: float64(elapsed.Nanoseconds()) / float64(n),
+		LinesSec:  float64(n) / elapsed.Seconds(),
+	}, nil
 }
 
 // measureDecode times the NDJSON decode over every line, filling decoded as

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"sensorguard/internal/obs"
@@ -42,8 +43,40 @@ func TestRunEmitsReport(t *testing.T) {
 	if rep.Decode.NsPerLine <= 0 {
 		t.Errorf("decode not measured: %+v", rep.Decode)
 	}
+	if rep.DecodeBin.NsPerLine <= 0 || rep.DecodeBin.Lines == 0 {
+		t.Errorf("binary decode not measured: %+v", rep.DecodeBin)
+	}
+	if rep.DecodeBin.NsPerLine >= rep.Decode.NsPerLine {
+		t.Errorf("binary decode (%.1f ns/line) not faster than NDJSON (%.1f ns/line)",
+			rep.DecodeBin.NsPerLine, rep.Decode.NsPerLine)
+	}
+	if rep.FrameBytes <= 0 {
+		t.Errorf("frame size not measured: %d", rep.FrameBytes)
+	}
 	if rep.BareStep.AllocsPerOp != 0 {
 		t.Errorf("bare detector step allocates %v per op, want 0", rep.BareStep.AllocsPerOp)
+	}
+}
+
+// TestRunMaxprocsOverridesCPUs is the multi-core trajectory mechanism: on a
+// 1-CPU runner, -maxprocs is how a cpus>1 entry gets recorded.
+func TestRunMaxprocsOverridesCPUs(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-days", "1", "-passes", "1", "-shards", "2", "-maxprocs", "2", "-out", out}, io.Discard, io.Discard); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPUs != 2 {
+		t.Fatalf("report cpus = %d, want 2 under -maxprocs 2", rep.CPUs)
 	}
 }
 
@@ -53,6 +86,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-passes", "0"},
 		{"-shards", "0"},
 		{"-shards", "four"},
+		{"-maxprocs", "-1"},
 	} {
 		var errBuf bytes.Buffer
 		if err := run(args, io.Discard, &errBuf); err == nil {

@@ -35,8 +35,11 @@ type trajectoryEntry struct {
 	Shards          int     `json:"shards"` // shard count of the best fleet run
 	ReadingsPerSec  float64 `json:"readings_per_sec"`
 	DecodeNsPerLine float64 `json:"decode_ns_per_line"`
-	StepP50us       float64 `json:"window_step_p50_us"`
-	StepP99us       float64 `json:"window_step_p99_us"`
+	// DecodeBinaryNsPerLine is the binary-codec decode cost on the same
+	// trace (0 in entries recorded before the binary codec existed).
+	DecodeBinaryNsPerLine float64 `json:"decode_binary_ns_per_line"`
+	StepP50us             float64 `json:"window_step_p50_us"`
+	StepP99us             float64 `json:"window_step_p99_us"`
 }
 
 // trajectoryEntryFrom summarizes a report, taking the fleet run with the
@@ -58,10 +61,11 @@ func trajectoryEntryFrom(rep report, commit string, now time.Time) (trajectoryEn
 		GOARCH:          rep.GOARCH,
 		CPUs:            rep.CPUs,
 		Shards:          best.Shards,
-		ReadingsPerSec:  best.ReadingsPerSec,
-		DecodeNsPerLine: rep.Decode.NsPerLine,
-		StepP50us:       best.WindowP50us,
-		StepP99us:       best.WindowP99us,
+		ReadingsPerSec:        best.ReadingsPerSec,
+		DecodeNsPerLine:       rep.Decode.NsPerLine,
+		DecodeBinaryNsPerLine: rep.DecodeBin.NsPerLine,
+		StepP50us:             best.WindowP50us,
+		StepP99us:             best.WindowP99us,
 	}, nil
 }
 
@@ -120,6 +124,12 @@ func writeBenchfmt(rep report, w io.Writer) error {
 	if rep.Decode.Lines > 0 {
 		if _, err := fmt.Fprintf(w, "BenchmarkIngestDecode\t%d\t%.2f ns/op\n",
 			rep.Decode.Lines, rep.Decode.NsPerLine); err != nil {
+			return err
+		}
+	}
+	if rep.DecodeBin.Lines > 0 {
+		if _, err := fmt.Fprintf(w, "BenchmarkIngestDecodeBinary\t%d\t%.2f ns/op\n",
+			rep.DecodeBin.Lines, rep.DecodeBin.NsPerLine); err != nil {
 			return err
 		}
 	}

@@ -335,6 +335,41 @@ func (p *Pool) Submit(r ingest.Reading) error {
 	if p.closed {
 		return ErrClosed
 	}
+	return p.submitLocked(r)
+}
+
+// SubmitBatch submits a decoded batch in order under one intake-lock
+// acquisition — the staged path the parallel binary decoder feeds whole
+// frames through (it makes Pool an ingest.BatchConsumer). Readings route to
+// their shards exactly as Submit would: accepted counts enqueued readings,
+// dropped those shed by the overflow policy. A terminal error (shutdown, a
+// malformed journal entry) stops the batch where it stands; the counts cover
+// the prefix processed before it.
+func (p *Pool) SubmitBatch(rs []ingest.Reading) (accepted, dropped int, err error) {
+	if len(rs) == 0 {
+		return 0, 0, nil
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return 0, 0, ErrClosed
+	}
+	for _, r := range rs {
+		switch err := p.submitLocked(r); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ingest.ErrDropped):
+			dropped++
+		default:
+			return accepted, dropped, err
+		}
+	}
+	return accepted, dropped, nil
+}
+
+// submitLocked routes one reading to its shard; the caller holds p.mu.RLock
+// and has checked p.closed.
+func (p *Pool) submitLocked(r ingest.Reading) error {
 	s := p.shards[shardIndex(r.Deployment, len(p.shards))]
 	if s.dur != nil {
 		return p.submitDurable(s, r)

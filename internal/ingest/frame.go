@@ -1,0 +1,444 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"sensorguard/internal/vecmat"
+)
+
+// The binary wire format: a length-prefixed frame carrying a batch of
+// readings in columnar form, negotiated alongside NDJSON on the same
+// listeners (see docs/SERVING.md, "Binary frame format"). The layout favours
+// decode speed: deployment keys are interned once per frame, timestamps are
+// delta-encoded varints, and attribute values travel as raw float64 columns
+// that decode with no parsing at all.
+//
+//	offset  size  field
+//	0       1     magic 0xBF
+//	1       1     version 0x01
+//	2       4     payload length N, uint32 little-endian
+//	6       N     payload (columnar batch, below)
+//	6+N     4     CRC32 (IEEE) of the payload, little-endian
+//
+// Payload:
+//
+//	uvarint D                      deployment intern table size (≥1)
+//	D × (uvarint len, bytes)       deployment keys ("" ⇒ DefaultDeployment)
+//	uvarint R                      reading count (≥1)
+//	uvarint dim                    attributes per reading; 0 ⇒ ragged, a
+//	                               column of R uvarint dims follows
+//	R × uvarint                    deployment index column (< D)
+//	R × varint(zigzag)             sensor ID column
+//	R × varint(zigzag)             seq delta column (delta vs previous row,
+//	                               first row vs 0; modular, exact ∀ uint64)
+//	R × varint(zigzag)             time delta column (nanoseconds, same rule)
+//	float64 columns, little-endian raw bits:
+//	    uniform dim: R×dim values, column-major (attribute 0 of every
+//	    reading, then attribute 1, …)
+//	    ragged: sum(dims) values, row-major
+//
+// The float columns must consume the payload exactly: trailing bytes are a
+// framing error.
+
+const (
+	// FrameMagic is the first byte of every binary frame. It can never begin
+	// a valid NDJSON reading (0xBF is not valid JSON or UTF-8 start), which
+	// is what makes magic-byte sniffing on a shared listener safe.
+	FrameMagic = 0xBF
+	// FrameVersion is the only payload layout this codec speaks.
+	FrameVersion = 0x01
+	// FrameContentType negotiates the binary codec on POST /ingest.
+	FrameContentType = "application/x-sensorguard-frame"
+	// MaxFramePayload bounds one frame's payload so a corrupt or hostile
+	// length prefix cannot make the collector allocate gigabytes.
+	MaxFramePayload = 8 << 20
+
+	// frameHeaderLen is magic + version + payload length.
+	frameHeaderLen = 6
+	// frameTrailerLen is the CRC32 trailer.
+	frameTrailerLen = 4
+	// maxFrameDim bounds one reading's attribute count inside a frame.
+	maxFrameDim = 4096
+	// maxDeploymentLen bounds one interned deployment key.
+	maxDeploymentLen = 4096
+)
+
+// FrameError reports a malformed or corrupt binary frame — a client-payload
+// fault, never a collector-side one. Framing cannot be trusted past it, so a
+// FrameError is fatal to its stream.
+type FrameError struct {
+	// Frame is the 1-based ordinal of the bad frame within its stream.
+	Frame int
+	Err   error
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("ingest: frame %d: %v", e.Frame, e.Err)
+}
+
+func (e *FrameError) Unwrap() error { return e.Err }
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// FrameEncoder stages readings and renders them as one binary frame. The
+// zero value is ready to use; Reset makes it reusable across batches without
+// reallocating. Not safe for concurrent use.
+type FrameEncoder struct {
+	readings []Reading
+	buf      []byte
+}
+
+// Add stages one reading. Readings keep their order on the wire.
+func (e *FrameEncoder) Add(r Reading) { e.readings = append(e.readings, r) }
+
+// Len reports the number of staged readings.
+func (e *FrameEncoder) Len() int { return len(e.readings) }
+
+// Reset discards the staged readings, keeping the scratch buffer.
+func (e *FrameEncoder) Reset() { e.readings = e.readings[:0] }
+
+// Frame encodes the staged readings as one complete frame (header, columnar
+// payload, CRC trailer). The returned slice is owned by the encoder and is
+// valid until the next Frame or Reset.
+func (e *FrameEncoder) Frame() ([]byte, error) {
+	rs := e.readings
+	if len(rs) == 0 {
+		return nil, errors.New("ingest: empty frame")
+	}
+	// Intern deployments and decide uniform vs ragged dims in one pass.
+	depIdx := make(map[string]int, 4)
+	var deps []string
+	dim := len(rs[0].Values)
+	for _, r := range rs {
+		if len(r.Values) == 0 {
+			return nil, errors.New("ingest: reading needs at least one value")
+		}
+		if len(r.Values) != dim {
+			dim = 0 // ragged
+		}
+		if _, ok := depIdx[r.Deployment]; !ok {
+			depIdx[r.Deployment] = len(deps)
+			deps = append(deps, r.Deployment)
+		}
+	}
+
+	p := e.buf[:0]
+	if cap(p) < frameHeaderLen {
+		p = make([]byte, 0, 64*1024)
+	}
+	p = append(p, make([]byte, frameHeaderLen)...) // header placeholder
+
+	var tmp [binary.MaxVarintLen64]byte
+	uv := func(dst []byte, v uint64) []byte {
+		n := binary.PutUvarint(tmp[:], v)
+		return append(dst, tmp[:n]...)
+	}
+
+	p = uv(p, uint64(len(deps)))
+	for _, d := range deps {
+		if len(d) > maxDeploymentLen {
+			return nil, fmt.Errorf("ingest: deployment key %d bytes long (max %d)", len(d), maxDeploymentLen)
+		}
+		p = uv(p, uint64(len(d)))
+		p = append(p, d...)
+	}
+	p = uv(p, uint64(len(rs)))
+	p = uv(p, uint64(dim))
+	if dim == 0 {
+		for _, r := range rs {
+			p = uv(p, uint64(len(r.Values)))
+		}
+	}
+	for _, r := range rs {
+		p = uv(p, uint64(depIdx[r.Deployment]))
+	}
+	for _, r := range rs {
+		p = uv(p, zigzag(int64(r.Sensor)))
+	}
+	var prevSeq uint64
+	for _, r := range rs {
+		p = uv(p, zigzag(int64(r.Seq-prevSeq))) // modular delta: exact for all uint64
+		prevSeq = r.Seq
+	}
+	var prevNS int64
+	for _, r := range rs {
+		ns := int64(r.Time)
+		p = uv(p, zigzag(ns-prevNS))
+		prevNS = ns
+	}
+	if dim > 0 {
+		// Column-major: attribute a of every reading, then attribute a+1.
+		for a := 0; a < dim; a++ {
+			for _, r := range rs {
+				p = binary.LittleEndian.AppendUint64(p, math.Float64bits(r.Values[a]))
+			}
+		}
+	} else {
+		for _, r := range rs {
+			for _, v := range r.Values {
+				p = binary.LittleEndian.AppendUint64(p, math.Float64bits(v))
+			}
+		}
+	}
+
+	payload := p[frameHeaderLen:]
+	if len(payload) > MaxFramePayload {
+		return nil, fmt.Errorf("ingest: frame payload %d bytes (max %d)", len(payload), MaxFramePayload)
+	}
+	p[0] = FrameMagic
+	p[1] = FrameVersion
+	binary.LittleEndian.PutUint32(p[2:6], uint32(len(payload)))
+	p = binary.LittleEndian.AppendUint32(p, crc32.ChecksumIEEE(payload))
+	e.buf = p
+	return p, nil
+}
+
+// EncodeFrame renders readings as one binary frame. For repeated batches,
+// reuse a FrameEncoder instead.
+func EncodeFrame(rs []Reading) ([]byte, error) {
+	var e FrameEncoder
+	e.readings = rs
+	frame, err := e.Frame()
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), frame...), nil
+}
+
+// DecodeFrame parses one complete frame (header through CRC trailer) into
+// its readings. Structurally invalid or corrupt frames return a *FrameError;
+// readings that fail semantic validation (non-finite values, negative time)
+// are skipped and counted in rejected, mirroring the NDJSON codec's
+// tolerance. Returned Values slices are freshly allocated per frame and do
+// not alias data.
+func DecodeFrame(frame []byte) (readings []Reading, rejected int, err error) {
+	if len(frame) < frameHeaderLen+frameTrailerLen {
+		return nil, 0, &FrameError{Frame: 1, Err: errors.New("truncated frame")}
+	}
+	if frame[0] != FrameMagic {
+		return nil, 0, &FrameError{Frame: 1, Err: fmt.Errorf("bad magic 0x%02X", frame[0])}
+	}
+	if frame[1] != FrameVersion {
+		return nil, 0, &FrameError{Frame: 1, Err: fmt.Errorf("unsupported frame version %d", frame[1])}
+	}
+	n := int(binary.LittleEndian.Uint32(frame[2:6]))
+	if n > MaxFramePayload {
+		return nil, 0, &FrameError{Frame: 1, Err: fmt.Errorf("payload length %d exceeds %d", n, MaxFramePayload)}
+	}
+	if len(frame) != frameHeaderLen+n+frameTrailerLen {
+		return nil, 0, &FrameError{Frame: 1, Err: fmt.Errorf("frame is %d bytes, header says %d", len(frame), frameHeaderLen+n+frameTrailerLen)}
+	}
+	payload := frame[frameHeaderLen : frameHeaderLen+n]
+	want := binary.LittleEndian.Uint32(frame[frameHeaderLen+n:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 0, &FrameError{Frame: 1, Err: fmt.Errorf("CRC mismatch: payload %08x, trailer %08x", got, want)}
+	}
+	readings, rejected, derr := decodeFramePayload(payload)
+	if derr != nil {
+		return nil, 0, &FrameError{Frame: 1, Err: derr}
+	}
+	return readings, rejected, nil
+}
+
+// decodeFramePayload decodes a CRC-verified columnar payload. Structural
+// faults (bad varints, out-of-range indices, lengths that disagree with the
+// payload size) error out; semantically invalid readings are dropped and
+// counted, like undecodable NDJSON lines.
+func decodeFramePayload(payload []byte) ([]Reading, int, error) {
+	pos := 0
+	uv := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("bad varint in %s column at offset %d", what, pos)
+		}
+		pos += n
+		return v, nil
+	}
+
+	depCount, err := uv("deployment table")
+	if err != nil {
+		return nil, 0, err
+	}
+	if depCount == 0 || depCount > uint64(len(payload)) {
+		return nil, 0, fmt.Errorf("deployment table size %d out of range", depCount)
+	}
+	deps := make([]string, depCount)
+	for i := range deps {
+		l, err := uv("deployment length")
+		if err != nil {
+			return nil, 0, err
+		}
+		if l > maxDeploymentLen {
+			return nil, 0, fmt.Errorf("deployment key %d bytes long (max %d)", l, maxDeploymentLen)
+		}
+		if uint64(len(payload)-pos) < l {
+			return nil, 0, errors.New("deployment table overruns payload")
+		}
+		name := string(payload[pos : pos+int(l)])
+		pos += int(l)
+		if name == "" {
+			name = DefaultDeployment
+		}
+		deps[i] = name
+	}
+
+	count, err := uv("reading count")
+	if err != nil {
+		return nil, 0, err
+	}
+	// Every reading costs at least one byte per varint column, so a count
+	// beyond the remaining payload is structurally impossible — reject it
+	// before sizing any allocation by it.
+	if count == 0 || count > uint64(len(payload)-pos) {
+		return nil, 0, fmt.Errorf("reading count %d out of range", count)
+	}
+	r := int(count)
+	dim, err := uv("dim")
+	if err != nil {
+		return nil, 0, err
+	}
+	if dim > maxFrameDim {
+		return nil, 0, fmt.Errorf("dim %d exceeds %d", dim, maxFrameDim)
+	}
+
+	dims := make([]int, r)
+	total := 0
+	if dim == 0 {
+		for i := range dims {
+			d, err := uv("dims")
+			if err != nil {
+				return nil, 0, err
+			}
+			if d == 0 || d > maxFrameDim {
+				return nil, 0, fmt.Errorf("reading %d dim %d out of range", i, d)
+			}
+			dims[i] = int(d)
+			total += int(d)
+		}
+	} else {
+		for i := range dims {
+			dims[i] = int(dim)
+		}
+		total = r * int(dim)
+	}
+	if total > (len(payload)-pos)/8+1 {
+		return nil, 0, fmt.Errorf("value count %d overruns payload", total)
+	}
+
+	readings := make([]Reading, r)
+	for i := range readings {
+		idx, err := uv("deployment index")
+		if err != nil {
+			return nil, 0, err
+		}
+		if idx >= depCount {
+			return nil, 0, fmt.Errorf("reading %d deployment index %d out of range", i, idx)
+		}
+		readings[i].Deployment = deps[idx]
+	}
+	for i := range readings {
+		s, err := uv("sensor")
+		if err != nil {
+			return nil, 0, err
+		}
+		readings[i].Sensor = int(unzigzag(s))
+	}
+	var prevSeq uint64
+	for i := range readings {
+		d, err := uv("seq")
+		if err != nil {
+			return nil, 0, err
+		}
+		prevSeq += uint64(unzigzag(d))
+		readings[i].Seq = prevSeq
+	}
+	var prevNS int64
+	for i := range readings {
+		d, err := uv("time")
+		if err != nil {
+			return nil, 0, err
+		}
+		prevNS += unzigzag(d)
+		readings[i].Time = time.Duration(prevNS)
+	}
+
+	if len(payload)-pos != 8*total {
+		return nil, 0, fmt.Errorf("value block is %d bytes, columns need %d", len(payload)-pos, 8*total)
+	}
+	// One slab per frame: every reading's vector slices it, so a frame of N
+	// readings costs one float64 allocation, not N.
+	slab := make(vecmat.Vector, total)
+	off := 0
+	for i := range readings {
+		readings[i].Values = slab[off : off+dims[i] : off+dims[i]]
+		off += dims[i]
+	}
+	if dim > 0 {
+		// Transpose the column-major wire layout into per-reading vectors.
+		for a := 0; a < int(dim); a++ {
+			for i := range readings {
+				bits := binary.LittleEndian.Uint64(payload[pos:])
+				pos += 8
+				readings[i].Values[a] = math.Float64frombits(bits)
+			}
+		}
+	} else {
+		for i := range readings {
+			for a := range readings[i].Values {
+				bits := binary.LittleEndian.Uint64(payload[pos:])
+				pos += 8
+				readings[i].Values[a] = math.Float64frombits(bits)
+			}
+		}
+	}
+
+	// Semantic validation, mirroring DecodeLine: drop (and count) readings
+	// that would poison the detector, keep the rest of the frame.
+	rejected := 0
+	kept := readings[:0]
+	for _, rd := range readings {
+		if !validReading(rd) {
+			rejected++
+			continue
+		}
+		kept = append(kept, rd)
+	}
+	return kept, rejected, nil
+}
+
+// validReading applies the semantic checks shared with the NDJSON codec.
+func validReading(r Reading) bool {
+	if r.Time < 0 {
+		return false
+	}
+	for _, v := range r.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return len(r.Values) > 0
+}
+
+// readingEqual reports semantic equality of two readings (used by the fuzz
+// round-trip; NaN-free by construction since validReading already ran).
+func readingEqual(a, b Reading) bool {
+	if a.Deployment != b.Deployment || a.Seq != b.Seq || a.Sensor != b.Sensor || a.Time != b.Time {
+		return false
+	}
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if math.Float64bits(a.Values[i]) != math.Float64bits(b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,15 +19,37 @@ import (
 // well under 1 KiB; 1 MiB leaves room for wide attribute vectors).
 const maxLine = 1 << 20
 
-// StreamStats counts the outcome of one NDJSON stream.
+// StreamStats counts the outcome of one ingest stream (either codec).
 type StreamStats struct {
 	// Accepted readings were decoded and enqueued.
 	Accepted int `json:"accepted"`
-	// Rejected lines failed to decode or validate.
+	// Rejected is the total of all rejection causes below; it stays the
+	// stable field existing shippers read.
 	Rejected int `json:"rejected"`
+	// RejectedDecode counts lines (or binary-frame readings) that failed to
+	// decode or validate.
+	RejectedDecode int `json:"rejected_decode"`
+	// RejectedOversize counts NDJSON lines over the 1 MiB line bound; the
+	// reader resyncs at the next newline and keeps going.
+	RejectedOversize int `json:"rejected_oversize"`
 	// Dropped readings were shed by the consumer's overflow policy.
 	Dropped int `json:"dropped"`
 }
+
+// PayloadError reports a client-payload fault in an NDJSON stream — a body
+// read error or malformed transport framing. The HTTP handler maps it (and
+// *FrameError, its binary-codec sibling) to 400; collector-side submit
+// failures stay 503. Line is the 1-based line at which the stream died.
+type PayloadError struct {
+	Line int
+	Err  error
+}
+
+func (e *PayloadError) Error() string {
+	return fmt.Sprintf("ingest: line %d: %v", e.Line, e.Err)
+}
+
+func (e *PayloadError) Unwrap() error { return e.Err }
 
 // ReadStream decodes NDJSON readings from r and submits each to c until EOF.
 // Undecodable lines are counted, not fatal (one bad producer must not kill a
@@ -60,8 +83,73 @@ type StreamOptions struct {
 // decode stage clock's counters take the atomic adds.
 const decodeFlushEvery = 4096
 
-// ReadStreamOpts is the full-featured stream reader; ReadStream and
-// ReadStreamTraced are thin wrappers over it.
+// lineReader yields newline-delimited lines of at most maxLine bytes. A
+// longer line is discarded up to its terminating newline and reported as
+// oversize — the stream keeps going, so one bad producer line cannot kill a
+// shared socket or discard the rest of a batch (bufio.Scanner, which this
+// replaces, aborted the whole stream at the first oversized line).
+type lineReader struct {
+	br  *bufio.Reader
+	buf []byte
+	eof bool
+}
+
+// next returns the next line with its trailing newline (and optional
+// carriage return) stripped. oversize reports a discarded too-long line
+// (line is nil). err is io.EOF only when the stream is exhausted; a final
+// line without a trailing newline is still returned with err == nil.
+func (lr *lineReader) next() (line []byte, oversize bool, err error) {
+	if lr.eof {
+		return nil, false, io.EOF
+	}
+	lr.buf = lr.buf[:0]
+	long := false
+	for {
+		chunk, rerr := lr.br.ReadSlice('\n')
+		if !long {
+			if len(lr.buf)+len(chunk) > maxLine+1 { // +1: the delimiter itself
+				long = true
+				lr.buf = lr.buf[:0]
+			} else {
+				lr.buf = append(lr.buf, chunk...)
+			}
+		}
+		switch {
+		case errors.Is(rerr, bufio.ErrBufferFull):
+			continue // keep accumulating (or discarding) to the newline
+		case rerr == nil:
+			if long {
+				return nil, true, nil
+			}
+			return trimEOL(lr.buf), false, nil
+		case errors.Is(rerr, io.EOF):
+			lr.eof = true
+			if long {
+				return nil, true, nil
+			}
+			if len(lr.buf) == 0 {
+				return nil, false, io.EOF
+			}
+			return trimEOL(lr.buf), false, nil
+		default:
+			return nil, false, rerr
+		}
+	}
+}
+
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// ReadStreamOpts is the full-featured NDJSON stream reader; ReadStream and
+// ReadStreamTraced are thin wrappers over it, and ReadWireStream routes here
+// when the first byte is not the binary frame magic.
 func ReadStreamOpts(r io.Reader, c Consumer, o StreamOptions) (StreamStats, error) {
 	var span *obs.Span
 	switch {
@@ -80,10 +168,28 @@ func ReadStreamOpts(r io.Reader, c Consumer, o StreamOptions) (StreamStats, erro
 			busy, lines = 0, 0
 		}
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
-	for sc.Scan() {
-		line := sc.Bytes()
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64*1024)
+	}
+	lr := lineReader{br: br}
+	lineNo := 0
+	for {
+		line, oversize, rerr := lr.next()
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			flushClock()
+			finishDecodeSpan(span, st)
+			return st, &PayloadError{Line: lineNo + 1, Err: rerr}
+		}
+		lineNo++
+		if oversize {
+			st.Rejected++
+			st.RejectedOversize++
+			continue
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -101,6 +207,7 @@ func ReadStreamOpts(r io.Reader, c Consumer, o StreamOptions) (StreamStats, erro
 		}
 		if err != nil {
 			st.Rejected++
+			st.RejectedDecode++
 			continue
 		}
 		rd.Trace = ctx
@@ -118,12 +225,14 @@ func ReadStreamOpts(r io.Reader, c Consumer, o StreamOptions) (StreamStats, erro
 	}
 	flushClock()
 	finishDecodeSpan(span, st)
-	return st, sc.Err()
+	return st, nil
 }
 
 func finishDecodeSpan(span *obs.Span, st StreamStats) {
 	span.SetInt("accepted", int64(st.Accepted))
 	span.SetInt("rejected", int64(st.Rejected))
+	span.SetInt("rejected_decode", int64(st.RejectedDecode))
+	span.SetInt("rejected_oversize", int64(st.RejectedOversize))
 	span.SetInt("dropped", int64(st.Dropped))
 	span.End()
 }
@@ -143,6 +252,17 @@ func IngestHandlerTraced(c Consumer, tr *obs.Tracer) http.HandlerFunc {
 
 // IngestHandlerStaged is IngestHandlerTraced plus decode-stage accounting:
 // each request body's per-line decode time feeds the given stage clock.
+//
+// Codec negotiation: a FrameContentType request selects the binary frame
+// codec outright; any other content type is sniffed by the first body byte
+// (the frame magic can never begin NDJSON), with NDJSON the default.
+//
+// Error contract: client-payload faults — a body read error, transport
+// framing gone wrong, a corrupt or truncated binary frame — are 400 with a
+// structured JSON body naming the failing line or frame, so a shipper can
+// drop the batch instead of retrying it forever. 503 is reserved for
+// collector-side submit failures (backpressure, shutdown), which ARE worth
+// retrying.
 func IngestHandlerStaged(c Consumer, tr *obs.Tracer, decode *obs.StageClock) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var parent obs.SpanContext
@@ -151,15 +271,52 @@ func IngestHandlerStaged(c Consumer, tr *obs.Tracer, decode *obs.StageClock) htt
 				parent = ctx
 			}
 		}
-		st, err := ReadStreamOpts(r.Body, c, StreamOptions{Tracer: tr, Parent: parent, Decode: decode})
+		o := StreamOptions{Tracer: tr, Parent: parent, Decode: decode}
+		var st StreamStats
+		var err error
+		if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, FrameContentType) {
+			st, err = ReadBinaryStream(r.Body, c, o)
+		} else {
+			st, err = ReadWireStream(r.Body, c, o)
+		}
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			writeIngestError(w, st, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		_ = enc.Encode(st)
 	}
+}
+
+// ingestErrorBody is the structured JSON error response for payload faults.
+type ingestErrorBody struct {
+	Error string `json:"error"`
+	// Line is the 1-based NDJSON line the stream failed at (0 for binary).
+	Line int `json:"line,omitempty"`
+	// Frame is the 1-based binary frame ordinal (0 for NDJSON).
+	Frame int `json:"frame,omitempty"`
+	// The partial stream outcome before the failure.
+	Stats StreamStats `json:"stats"`
+}
+
+// writeIngestError maps a stream failure onto the 400-vs-503 contract.
+func writeIngestError(w http.ResponseWriter, st StreamStats, err error) {
+	var pe *PayloadError
+	var fe *FrameError
+	body := ingestErrorBody{Error: err.Error(), Stats: st}
+	switch {
+	case errors.As(err, &pe):
+		body.Line = pe.Line
+	case errors.As(err, &fe):
+		body.Frame = fe.Frame
+	default:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 // DefaultTCPIdleTimeout is how long a TCP ingest connection may sit without
@@ -280,7 +437,8 @@ func (s *TCPServer) accept() {
 			if s.idle > 0 {
 				r = idleConn{conn: conn, idle: s.idle}
 			}
-			_, _ = ReadStreamOpts(r, s.c, StreamOptions{Tracer: s.tracer, Decode: s.decode})
+			// Both codecs share the socket: the first byte decides.
+			_, _ = ReadWireStream(r, s.c, StreamOptions{Tracer: s.tracer, Decode: s.decode})
 		}()
 	}
 }

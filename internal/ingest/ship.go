@@ -15,8 +15,10 @@ import (
 	"sensorguard/internal/obs"
 )
 
-// Shipper is the producer side of the ingest wire: it batches readings as
-// NDJSON and POSTs them to a collector's /ingest endpoint, riding out server
+// Shipper is the producer side of the ingest wire: it batches readings in
+// either wire codec (NDJSON by default, one columnar binary frame per batch
+// with ShipperConfig.Wire) and POSTs them to a collector's /ingest endpoint,
+// riding out server
 // restarts with sequence-numbered idempotent retransmission. It is the
 // shipping path cmd/gdigen streams traces over and cmd/sgsim drives its
 // labeled campaigns through.
@@ -35,10 +37,18 @@ type Shipper struct {
 	cfg     ShipperConfig
 	client  *http.Client
 	rng     *rand.Rand
-	batch   bytes.Buffer
+	batch   bytes.Buffer // staged NDJSON lines (WireNDJSON)
+	enc     FrameEncoder // staged readings (WireBinary)
+	binary  bool
 	pending int
 	shipped int
 }
+
+// Wire codec names for ShipperConfig.Wire and the gdigen/sgsim -wire flag.
+const (
+	WireNDJSON = "ndjson"
+	WireBinary = "binary"
+)
 
 // ShipperConfig parameterises a Shipper.
 type ShipperConfig struct {
@@ -56,6 +66,10 @@ type ShipperConfig struct {
 	// Seed freezes the retry jitter, so tests and replayed campaigns
 	// back off identically.
 	Seed int64
+	// Wire selects the batch codec: WireNDJSON (the default) posts NDJSON
+	// lines, WireBinary posts one columnar binary frame per batch (see
+	// docs/SERVING.md, "Binary frame format").
+	Wire string
 }
 
 // NewShipper validates the configuration and builds a shipper.
@@ -75,10 +89,16 @@ func NewShipper(cfg ShipperConfig) (*Shipper, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
+	switch cfg.Wire {
+	case "", WireNDJSON, WireBinary:
+	default:
+		return nil, fmt.Errorf("ingest: unknown wire codec %q (want %s or %s)", cfg.Wire, WireNDJSON, WireBinary)
+	}
 	return &Shipper{
 		cfg:    cfg,
 		client: cfg.Client,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		binary: cfg.Wire == WireBinary,
 	}, nil
 }
 
@@ -90,12 +110,16 @@ func (s *Shipper) Add(ctx context.Context, r Reading) error {
 			return err
 		}
 	}
-	line, err := EncodeLine(r)
-	if err != nil {
-		return err
+	if s.binary {
+		s.enc.Add(r)
+	} else {
+		line, err := EncodeLine(r)
+		if err != nil {
+			return err
+		}
+		s.batch.Write(line)
+		s.batch.WriteByte('\n')
 	}
-	s.batch.Write(line)
-	s.batch.WriteByte('\n')
 	s.pending++
 	return nil
 }
@@ -107,12 +131,21 @@ func (s *Shipper) Flush(ctx context.Context) error {
 	if s.pending == 0 {
 		return nil
 	}
+	body := s.batch.Bytes()
+	if s.binary {
+		frame, err := s.enc.Frame()
+		if err != nil {
+			return err
+		}
+		body = frame
+	}
 	tc := obs.NewRootContext()
-	if err := s.postBatch(ctx, s.batch.Bytes(), tc); err != nil {
+	if err := s.postBatch(ctx, body, tc); err != nil {
 		return err
 	}
 	s.shipped += s.pending
 	s.batch.Reset()
+	s.enc.Reset()
 	s.pending = 0
 	return nil
 }
@@ -176,7 +209,11 @@ func (s *Shipper) postOnce(ctx context.Context, body []byte, tc obs.SpanContext)
 	if err != nil {
 		return 0, &permanentError{err}
 	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
+	if s.binary {
+		req.Header.Set("Content-Type", FrameContentType)
+	} else {
+		req.Header.Set("Content-Type", "application/x-ndjson")
+	}
 	if tc.Valid() {
 		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
 	}

@@ -20,7 +20,7 @@ type (
 	IngestReading = ingest.Reading
 	// IngestConsumer accepts decoded readings (implemented by Fleet).
 	IngestConsumer = ingest.Consumer
-	// IngestStats counts the outcome of one NDJSON stream.
+	// IngestStats counts the outcome of one ingest stream (either codec).
 	IngestStats = ingest.StreamStats
 	// StreamWindower assembles windows from out-of-order arrival using
 	// watermarks with bounded lateness.
@@ -157,6 +157,36 @@ func ReadIngestStream(r io.Reader, c IngestConsumer) (IngestStats, error) {
 func ReadIngestStreamTraced(r io.Reader, c IngestConsumer, tr *Tracer) (IngestStats, error) {
 	return ingest.ReadStreamTraced(r, c, tr, obs.SpanContext{})
 }
+
+// ReadIngestWire reads a stream of readings in either wire codec, sniffing
+// the first byte: the binary frame magic selects the columnar frame codec,
+// anything else is NDJSON (the default). tr may be nil.
+func ReadIngestWire(r io.Reader, c IngestConsumer, tr *Tracer) (IngestStats, error) {
+	return ingest.ReadWireStream(r, c, ingest.StreamOptions{Tracer: tr})
+}
+
+// ReadIngestWireFor is ReadIngestWire wired to a fleet: the stream inherits
+// the pool's tracer and feeds the ingest_decode stage clock, so source-stream
+// ingestion participates in bottleneck attribution like the listeners do.
+func ReadIngestWireFor(r io.Reader, p *Fleet) (IngestStats, error) {
+	return ingest.ReadWireStream(r, p, ingest.StreamOptions{Tracer: p.Tracer(), Decode: p.DecodeClock()})
+}
+
+// IngestFrameContentType is the Content-Type that negotiates the binary
+// frame codec on POST /ingest.
+const IngestFrameContentType = ingest.FrameContentType
+
+// EncodeIngestFrame renders a batch of readings as one binary wire frame.
+func EncodeIngestFrame(rs []IngestReading) ([]byte, error) { return ingest.EncodeFrame(rs) }
+
+// DecodeIngestFrame parses one binary wire frame, returning its readings and
+// the count of semantically invalid ones it skipped.
+func DecodeIngestFrame(frame []byte) ([]IngestReading, int, error) { return ingest.DecodeFrame(frame) }
+
+// SetIngestDecodeWorkers sizes the process-wide binary frame decode pool
+// (default: one worker per GOMAXPROCS). Call before serving; the pool starts
+// lazily with the first binary stream and keeps its size after that.
+func SetIngestDecodeWorkers(n int) { ingest.SetDecodeWorkers(n) }
 
 // EncodeIngestLine renders a reading as one NDJSON line (no newline).
 func EncodeIngestLine(r IngestReading) ([]byte, error) { return ingest.EncodeLine(r) }
